@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module reproduces one paper figure: it runs the experiment
+(sized to finish on a laptop), prints the same rows/series the paper
+plots via :func:`emit`, asserts the *shape* invariants (who wins, by
+roughly what factor, monotonicity), and times a representative kernel
+with pytest-benchmark.
+
+Every emitted table is also written to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md can reference the latest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Tables emitted during this session, replayed in the terminal summary
+#: (pytest captures ordinary prints; the summary is always visible).
+_EMITTED = []
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _EMITTED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.section("paper figure reproductions (paper vs measured)")
+    for text in _EMITTED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def trained_predictor():
+    """A learned predictor trained once per benchmark session (section 7.2)."""
+    from dataclasses import replace
+
+    from repro.predictor.training import train_models
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.scenarios import IOS_WORKLOAD
+
+    generator = WorkloadGenerator(replace(IOS_WORKLOAD, seed=4321))
+    history = generator.history(4000)
+    predictor, report = train_models(history, seed=11)
+    return predictor, report

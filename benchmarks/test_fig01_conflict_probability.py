@@ -1,0 +1,39 @@
+"""Figure 1: probability of real conflicts vs. concurrency.
+
+Paper: ~5 % at 2 concurrent potentially-conflicting changes, rising to
+~40 % at 16, for both iOS and Android.  Shape checks: the curve is
+(noise-tolerantly) increasing, small at n=2, and in the tens of percent
+by n=16.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import figure01
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcome = figure01.run(concurrency=(2, 4, 8, 12, 16), groups=200, pool_size=1000)
+    emit("fig01_conflict_probability", figure01.format_result(outcome))
+    return outcome
+
+
+def test_reproduces_figure1_shape(result):
+    for platform in ("iOS", "Android"):
+        series = result.series(platform)
+        assert series[0] < 0.12, "n=2 should be rare"
+        assert series[-1] > 0.15, "n=16 should be substantial"
+        assert series[-1] > series[0] * 2, "growth with concurrency"
+        # Tolerate Monte-Carlo noise: each point within 0.12 of a
+        # monotone envelope.
+        running_max = 0.0
+        for value in series:
+            assert value >= running_max - 0.12
+            running_max = max(running_max, value)
+
+
+def test_benchmark_conflict_sampling(benchmark, result):
+    benchmark(
+        figure01.run, concurrency=(2, 8), groups=40, pool_size=300, seed=7
+    )

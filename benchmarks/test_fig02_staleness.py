@@ -1,0 +1,33 @@
+"""Figure 2: probability of mainline breakage vs. change staleness.
+
+Paper: ~10-20 % at 1-10 hours of staleness, approaching certainty near
+100 hours, monotonically increasing on a log-hour axis.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import figure02
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcome = figure02.run(trials=120)
+    emit("fig02_staleness", figure02.format_result(outcome))
+    return outcome
+
+
+def test_reproduces_figure2_shape(result):
+    for platform in ("iOS", "Android"):
+        series = dict(zip(result.staleness_hours, result.by_platform[platform]))
+        assert 0.02 <= series[1] <= 0.25, "1h staleness: low but nonzero"
+        assert 0.10 <= series[10] <= 0.50, "10h staleness: paper shows 10-35%"
+        assert series[100] >= 0.70, "100h staleness: near-certain breakage"
+        values = [series[h] for h in result.staleness_hours]
+        assert all(b >= a - 0.05 for a, b in zip(values, values[1:])), (
+            "breakage grows with staleness"
+        )
+
+
+def test_benchmark_staleness_estimator(benchmark, result):
+    benchmark(figure02.run, staleness_hours=(1, 10), trials=30)

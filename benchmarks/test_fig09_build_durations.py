@@ -1,0 +1,40 @@
+"""Figure 9: CDF of build duration for the iOS/Android monorepos.
+
+Paper: near-identical CDFs for both platforms, median around half an
+hour, everything within [0, 120] minutes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import figure09
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcome = figure09.run(samples=30_000)
+    emit("fig09_build_durations", figure09.format_result(outcome))
+    return outcome
+
+
+def test_reproduces_figure9_shape(result):
+    for platform in ("iOS", "Android"):
+        assert 20 <= result.medians[platform] <= 35, "median about half an hour"
+        empirical = result.empirical[platform]
+        analytic = result.analytic[platform]
+        # Empirical draws track the analytic CDF everywhere on the grid.
+        for e, a in zip(empirical, analytic):
+            assert abs(e - a) < 0.03
+        assert empirical[-1] == 1.0, "tail capped at 120 minutes"
+    # The two platforms are near-identical (the paper overlays them).
+    for e_ios, e_android in zip(result.empirical["iOS"], result.empirical["Android"]):
+        assert abs(e_ios - e_android) < 0.1
+
+
+def test_benchmark_duration_sampling(benchmark, result):
+    import numpy as np
+
+    from repro.sim.durations import IOS_DURATIONS
+
+    rng = np.random.default_rng(0)
+    benchmark(IOS_DURATIONS.sample, rng, 10_000)

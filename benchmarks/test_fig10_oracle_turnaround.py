@@ -1,0 +1,48 @@
+"""Figure 10: CDF of Oracle turnaround at 100-500 changes/hour.
+
+Paper: with 2000 workers (no resource contention) the Oracle's turnaround
+CDF shifts right as the ingestion rate grows — the cost of serializing
+conflicting changes — while staying within roughly the build-duration
+envelope (everything decided within ~2x the 120-minute max build).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import figure10
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcome = figure10.run(rates=(100, 300, 500), changes_per_rate=350, workers=2000)
+    emit("fig10_oracle_turnaround", figure10.format_result(outcome))
+    return outcome
+
+
+def test_reproduces_figure10_shape(result):
+    # Turnaround grows with ingestion rate (denser pending sets -> more
+    # conflicting predecessors to wait for).
+    assert result.p50_by_rate[100] <= result.p50_by_rate[300] + 5
+    assert result.p50_by_rate[300] <= result.p50_by_rate[500] + 5
+    # The serialization cost is visible: P50 above the ~28-minute build
+    # median at every rate.
+    for rate in result.rates:
+        assert result.p50_by_rate[rate] >= 25
+    # ...but bounded: nothing drags far beyond the build-duration envelope.
+    for rate in result.rates:
+        assert result.p99_by_rate[rate] <= 3 * 120
+
+
+def test_cdf_values_monotone(result):
+    for rate in result.rates:
+        series = result.cdf_by_rate[rate]
+        assert series == sorted(series)
+
+
+def test_benchmark_oracle_run(benchmark, result):
+    from repro.changes.truth import potential_conflict
+    from repro.experiments.runner import make_stream, run_cell
+    from repro.strategies.oracle import OracleStrategy
+
+    stream = make_stream(200, 80, seed=99)
+    benchmark(run_cell, OracleStrategy(), stream, 200, potential_conflict)

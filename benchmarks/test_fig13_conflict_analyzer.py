@@ -1,0 +1,56 @@
+"""Figure 13: P95 turnaround improvement from the conflict analyzer.
+
+Paper (section 8.4): the analyzer improves the Oracle's P95 turnaround by
+up to ~60 %; SubmitQueue and Speculate-all benefit substantially too;
+Optimistic gains only ~20 % (Zuul's global pipeline mostly ignores the
+conflict structure) and Single-Queue's improvement does not grow with
+workers.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import figure13
+
+WORKERS = (100, 300)
+
+
+@pytest.fixture(scope="module")
+def result(trained_predictor):
+    predictor, _ = trained_predictor
+    outcome = figure13.run(
+        rates=(300,),
+        workers=WORKERS,
+        changes_per_cell=220,
+        strategies=("SubmitQueue", "Speculate-all", "Optimistic", "Single-Queue"),
+        predictor=predictor,
+    )
+    emit("fig13_conflict_analyzer", figure13.format_result(outcome))
+    return outcome
+
+
+def test_reproduces_figure13_shape(result):
+    for workers in WORKERS:
+        cell = (300, workers)
+        oracle = result.improvement["Oracle"][cell]
+        submitqueue = result.improvement["SubmitQueue"][cell]
+        speculate = result.improvement["Speculate-all"][cell]
+        optimistic = result.improvement["Optimistic"][cell]
+        # The analyzer buys the speculating strategies a lot...
+        assert oracle > 0.15, "paper: up to ~60% for Oracle"
+        assert submitqueue > 0.3
+        assert speculate > 0.2
+        # ...and Optimistic much less (paper: ~20%; Zuul's global pipeline
+        # ignores conflict structure entirely in our faithful model).
+        assert optimistic < oracle
+        assert optimistic < 0.45
+    # "Up to" 60%: the most contended cell shows the biggest win.
+    assert result.improvement["Oracle"][(300, WORKERS[0])] > 0.3
+
+
+def test_benchmark_analyzer_off_cell(benchmark, result):
+    from repro.experiments.runner import all_conflict, make_stream, run_cell
+    from repro.strategies.oracle import OracleStrategy
+
+    stream = make_stream(300, 60, seed=77)
+    benchmark(run_cell, OracleStrategy(), stream, 100, all_conflict)

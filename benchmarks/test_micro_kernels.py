@@ -1,0 +1,109 @@
+"""Microbenchmarks of the hot kernels (section 7.1's scalability story).
+
+These time the pieces that must stay cheap for SubmitQueue to scale to
+hundreds of pending changes: Algorithm-1 hashing, union-graph conflict
+checks, lazy speculation enumeration, engine selection, and conflict-graph
+maintenance.
+"""
+
+import pytest
+
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.loader import load_build_graph
+from repro.speculation.tree import SubsetEnumerator
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+
+@pytest.fixture(scope="module")
+def big_monorepo():
+    return SyntheticMonorepo(MonorepoSpec(layers=(8, 16, 32, 32), fan_in=3), seed=1)
+
+
+def test_benchmark_target_hashing(benchmark, big_monorepo):
+    snapshot = big_monorepo.repo.snapshot().to_dict()
+    graph = load_build_graph(snapshot)
+
+    def hash_everything():
+        return len(TargetHasher(graph, snapshot).all_hashes())
+
+    count = benchmark(hash_everything)
+    assert count == len(graph)
+
+
+def test_benchmark_build_graph_load(benchmark, big_monorepo):
+    snapshot = big_monorepo.repo.snapshot().to_dict()
+    graph = benchmark(load_build_graph, snapshot)
+    assert len(graph) == 8 + 16 + 32 + 32
+
+
+def test_benchmark_union_graph_conflict(benchmark, big_monorepo):
+    from repro.conflict.analyzer import ConflictAnalyzer
+
+    snapshot = big_monorepo.repo.snapshot().to_dict()
+    structural = big_monorepo.make_structural_change()
+    content = big_monorepo.make_clean_change()
+
+    def slow_path_check():
+        analyzer = ConflictAnalyzer(snapshot)
+        return analyzer.conflict(structural, content)
+
+    benchmark(slow_path_check)
+
+
+def test_benchmark_subset_enumeration_top_100(benchmark):
+    ancestors = [f"a{i}" for i in range(200)]
+    probabilities = {a: 0.9 if i % 3 else 0.4 for i, a in enumerate(ancestors)}
+
+    def top_100():
+        enumerator = SubsetEnumerator("x", ancestors, probabilities)
+        return [next(enumerator) for _ in range(100)]
+
+    nodes = benchmark(top_100)
+    values = [n.p_needed for n in nodes]
+    assert values == sorted(values, reverse=True)
+
+
+def test_benchmark_engine_selection_500_budget(benchmark):
+    from repro.changes.truth import potential_conflict
+    from repro.experiments.runner import make_stream
+    from repro.conflict.conflict_graph import ConflictGraph
+    from repro.predictor.predictors import StaticPredictor
+    from repro.speculation.engine import SpeculationEngine
+
+    stream = make_stream(500, 300, seed=123)
+    graph = ConflictGraph(potential_conflict)
+    changes = [change for _, change in stream]
+    for change in changes:
+        graph.add(change)
+    ancestors = {c.change_id: graph.ancestors(c.change_id) for c in changes}
+    engine = SpeculationEngine(StaticPredictor(success=0.9, conflict=0.05))
+    changes_by_id = {c.change_id: c for c in changes}
+
+    def select():
+        return engine.select_builds(
+            pending=changes,
+            ancestors=ancestors,
+            records={},
+            decided={},
+            budget=500,
+            changes_by_id=changes_by_id,
+        )
+
+    selected = benchmark(select)
+    assert len(selected) == 500
+
+
+def test_benchmark_conflict_graph_insertion(benchmark):
+    from repro.changes.truth import potential_conflict
+    from repro.conflict.conflict_graph import ConflictGraph
+    from repro.experiments.runner import make_stream
+
+    changes = [change for _, change in make_stream(500, 200, seed=321)]
+
+    def build_graph():
+        graph = ConflictGraph(potential_conflict)
+        for change in changes:
+            graph.add(change)
+        return graph.edge_count()
+
+    benchmark(build_graph)

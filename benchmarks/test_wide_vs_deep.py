@@ -1,0 +1,46 @@
+"""Section 8.4's prediction, measured: wider graphs gain at least as much
+from the conflict analyzer and commit more changes in parallel."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import wide_vs_deep
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcome = wide_vs_deep.run(changes=200, workers=300)
+    emit("wide_vs_deep", wide_vs_deep.format_result(outcome))
+    return outcome
+
+
+def test_both_profiles_benefit(result):
+    for name, improvement in result.improvement.items():
+        assert improvement > 0.1, name
+
+
+def test_wide_graph_gains_at_least_as_much(result):
+    assert (
+        result.improvement["wide (backend)"]
+        >= result.improvement["deep (iOS)"] - 0.05
+    )
+
+
+def test_wide_graph_is_less_serialized(result):
+    assert (
+        result.mean_conflicting_ancestors["wide (backend)"]
+        < result.mean_conflicting_ancestors["deep (iOS)"]
+    )
+
+
+def test_benchmark_wide_profile_cell(benchmark, result):
+    from dataclasses import replace
+
+    from repro.changes.truth import potential_conflict
+    from repro.experiments.runner import run_cell
+    from repro.strategies.oracle import OracleStrategy
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.scenarios import BACKEND_WORKLOAD
+
+    stream = WorkloadGenerator(replace(BACKEND_WORKLOAD, seed=4)).stream(300, 60)
+    benchmark(run_cell, OracleStrategy(), stream, 100, potential_conflict)

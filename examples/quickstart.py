@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: keep a tiny monorepo's master green with SubmitQueue.
+
+Builds a small synthetic monorepo (real BUILD files, real build steps),
+submits a mixed batch of changes — clean ones, an individually broken
+one, and a really-conflicting pair — and shows SubmitQueue landing
+exactly the safe ones while the mainline stays green at every commit
+point.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.buildsys.executor import BuildExecutor
+from repro.predictor.predictors import StaticPredictor
+from repro.service.api import SubmitQueueService
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+
+def main() -> None:
+    # 1. A monorepo: three layers of build targets (libs -> services -> apps).
+    monorepo = SyntheticMonorepo(MonorepoSpec(layers=(3, 4, 4), fan_in=2), seed=1)
+    print(f"monorepo: {len(monorepo.graph)} targets, depth {monorepo.graph.depth()}")
+
+    # 2. SubmitQueue: the core service over that repo, with a simple
+    #    static predictor (see examples/train_predictor.py for the
+    #    learned one the paper uses).
+    service = SubmitQueueService(
+        CoreService(
+            repo=monorepo.repo,
+            strategy=SubmitQueueStrategy(
+                StaticPredictor(success=0.85, conflict=0.15)
+            ),
+            config=CoreServiceConfig(workers=4),
+        )
+    )
+
+    # 3. A mixed batch of submissions.
+    clean = [monorepo.make_clean_change(t) for t in monorepo.target_names(0)[:2]]
+    broken = monorepo.make_broken_change(
+        monorepo.target_names(0)[2], step="unit_test"
+    )
+    conflict_a, conflict_b = monorepo.make_conflicting_pair(
+        target_name=monorepo.target_names(1)[0]
+    )
+    batch = clean + [broken, conflict_a, conflict_b]
+    for change in batch:
+        status = service.land_change(change)
+        print(f"submitted {change.change_id}: {change.description}")
+
+    # 4. Drive the queue until every change is decided.
+    decisions = service.process()
+    print(f"\nqueue drained: {decisions} decisions")
+    for change in batch:
+        status = service.status(change.change_id)
+        verdict = "LANDED " if status.is_landed else "REJECTED"
+        print(
+            f"  {verdict} {change.change_id} "
+            f"(turnaround {status.turnaround:.1f} min, "
+            f"builds {status.builds_scheduled}, reason: {status.reason})"
+        )
+
+    # 5. The headline guarantee: every mainline commit point is green.
+    print(f"\nmainline green: {service.mainline_is_green()}")
+    for commit_id in monorepo.repo.mainline_history():
+        report = BuildExecutor().build(monorepo.repo.snapshot(commit_id))
+        marker = "ok" if report.success else "BROKEN"
+        print(f"  commit {commit_id}: full build {marker}")
+
+
+if __name__ == "__main__":
+    main()

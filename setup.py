@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so editable installs work in offline
+environments whose setuptools lacks wheel support
+(``pip install -e . --no-build-isolation`` falls back to this).
+"""
+
+from setuptools import setup
+
+setup()

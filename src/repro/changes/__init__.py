@@ -1,0 +1,22 @@
+"""Changes, revisions, developers, lifecycle tracking, and the pending queue.
+
+A *change* is the unit SubmitQueue serializes: a code patch plus the build
+steps that must succeed before the patch may merge (paper section 3.1).
+A *revision* is the container a developer iterates on; each submit attempt
+appends a change to it.
+"""
+
+from repro.changes.change import Change, Developer, GroundTruth, Revision
+from repro.changes.state import ChangeLedger, ChangeRecord
+from repro.changes.queue import PendingQueue, ShardedQueue
+
+__all__ = [
+    "Change",
+    "ChangeLedger",
+    "ChangeRecord",
+    "Developer",
+    "GroundTruth",
+    "PendingQueue",
+    "Revision",
+    "ShardedQueue",
+]

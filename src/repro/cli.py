@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — run a SubmitQueue simulation on a synthetic workload;
+* ``compare``    — all strategies on one stream (mini Figures 11/12);
+* ``figure``     — regenerate one paper figure's table;
+* ``train``      — train the prediction models and report section 7.2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+FIGURES = ("1", "2", "9", "10", "11", "12", "13", "14", "accuracy", "stability")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Keeping Master Green at Scale' (EuroSys'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="run one SubmitQueue simulation")
+    quick.add_argument("--changes", type=int, default=200)
+    quick.add_argument("--rate", type=float, default=300.0)
+    quick.add_argument("--workers", type=int, default=100)
+    quick.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="all strategies on one stream")
+    compare.add_argument("--changes", type=int, default=250)
+    compare.add_argument("--rate", type=float, default=300.0)
+    compare.add_argument("--workers", type=int, default=200)
+    compare.add_argument("--seed", type=int, default=42)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", choices=FIGURES)
+    figure.add_argument(
+        "--quick", action="store_true",
+        help="smaller sample sizes (seconds instead of minutes)",
+    )
+
+    train = sub.add_parser("train", help="train the prediction models")
+    train.add_argument("--history", type=int, default=4000)
+    train.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import quickstart_components
+    from repro.metrics.percentile import summarize
+
+    simulation, stream = quickstart_components(
+        rate_per_hour=args.rate, count=args.changes, workers=args.workers,
+        seed=args.seed,
+    )
+    result = simulation.run(stream)
+    stats = summarize(result.turnaround_values())
+    print(
+        f"{result.strategy_name}: {result.changes_committed}/"
+        f"{result.changes_submitted} landed, "
+        f"P50 {stats['p50']:.0f} min, P95 {stats['p95']:.0f} min, "
+        f"throughput {result.throughput_per_hour:.0f}/h, "
+        f"utilization {result.utilization:.0%}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.changes.truth import potential_conflict
+    from repro.experiments.runner import format_table
+    from repro.metrics.percentile import summarize
+    from repro.planner.controller import LabelBuildController
+    from repro.predictor.predictors import OraclePredictor
+    from repro.sim.simulator import Simulation
+    from repro.strategies.optimistic import OptimisticStrategy
+    from repro.strategies.oracle import OracleStrategy
+    from repro.strategies.single_queue import SingleQueueStrategy
+    from repro.strategies.speculate_all import SpeculateAllStrategy
+    from repro.strategies.submitqueue import SubmitQueueStrategy
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.scenarios import IOS_WORKLOAD
+
+    generator = WorkloadGenerator(replace(IOS_WORKLOAD, seed=args.seed))
+    stream = generator.stream(args.rate, args.changes)
+    rows = []
+    base = None
+    for strategy in (
+        OracleStrategy(),
+        SubmitQueueStrategy(OraclePredictor()),
+        SpeculateAllStrategy(),
+        OptimisticStrategy(),
+        SingleQueueStrategy(),
+    ):
+        result = Simulation(
+            strategy=strategy,
+            controller=LabelBuildController(),
+            workers=args.workers,
+            conflict_predicate=potential_conflict,
+        ).run(list(stream))
+        stats = summarize(result.turnaround_values())
+        if base is None:
+            base = stats
+        rows.append(
+            [result.strategy_name, f"{stats['p50']:.0f}", f"{stats['p95']:.0f}",
+             f"{stats['p50'] / base['p50']:.2f}x", f"{stats['p95'] / base['p95']:.2f}x",
+             f"{result.throughput_per_hour:.0f}/h"]
+        )
+    print(
+        format_table(
+            ["strategy", "P50", "P95", "P50 vs Oracle", "P95 vs Oracle",
+             "throughput"],
+            rows,
+            title=(
+                f"{args.changes} changes @ {args.rate:g}/h, "
+                f"{args.workers} workers"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    quick = args.quick
+    if args.id == "1":
+        from repro.experiments import figure01 as module
+
+        result = module.run(groups=80 if quick else 250,
+                            pool_size=400 if quick else 1200)
+    elif args.id == "2":
+        from repro.experiments import figure02 as module
+
+        result = module.run(trials=40 if quick else 150)
+    elif args.id == "9":
+        from repro.experiments import figure09 as module
+
+        result = module.run(samples=5000 if quick else 30000)
+    elif args.id == "10":
+        from repro.experiments import figure10 as module
+
+        result = module.run(changes_per_rate=120 if quick else 400)
+    elif args.id == "11":
+        from repro.experiments import figure11 as module
+
+        result = module.run(changes_per_cell=80 if quick else 300)
+        print(module.format_result(result, "p50"))
+        print()
+        print(module.format_result(result, "p95"))
+        return 0
+    elif args.id == "12":
+        from repro.experiments import figure12 as module
+
+        result = module.run(changes_per_cell=80 if quick else 250)
+    elif args.id == "13":
+        from repro.experiments import figure13 as module
+
+        result = module.run(changes_per_cell=80 if quick else 250)
+    elif args.id == "14":
+        from repro.experiments import figure14 as module
+
+        result = module.run(days=2.0 if quick else 7.0)
+    elif args.id == "accuracy":
+        from repro.experiments import model_accuracy as module
+
+        result = module.run(history_size=1200 if quick else 6000)
+    else:
+        from repro.experiments import buildgraph_stability as module
+
+        result = module.run(label_samples=800 if quick else 4000)
+    print(module.format_result(result))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.runner import format_table
+    from repro.predictor.training import train_models
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.scenarios import IOS_WORKLOAD
+
+    generator = WorkloadGenerator(replace(IOS_WORKLOAD, seed=args.seed))
+    history = generator.history(args.history)
+    _, report = train_models(history, seed=args.seed)
+    print(
+        format_table(
+            ["model", "accuracy", "AUC"],
+            [
+                ["success", f"{report.success_metrics.accuracy:.3f}",
+                 f"{report.success_metrics.auc:.3f}"],
+                ["conflict", f"{report.conflict_metrics.accuracy:.3f}",
+                 f"{report.conflict_metrics.auc:.3f}"],
+            ],
+            title=f"trained on {args.history} changes (70/30 split)",
+        )
+    )
+    print("top + features:", ", ".join(report.top_success_features(3)))
+    print("top - features:", ", ".join(report.bottom_success_features(2)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "quickstart": _cmd_quickstart,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "train": _cmd_train,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""The conflict analyzer (paper section 5.2).
+
+Given a base snapshot (the mainline HEAD) and pending changes with
+patches, decides pairwise *potential* conflicts:
+
+* **fast path** — when neither change alters build-graph *structure*
+  (only ~7.9 % of iOS / 1.6 % of backend changes do), intersecting the
+  affected-target name sets is exact;
+* **slow path** — otherwise, run the union-graph algorithm (Steps 1–4),
+  which needs only per-change build graphs, not per-pair ones;
+* an **exact mode** implementing Equation 6 directly (builds the combined
+  graph ``G_{H⊕Ci⊕Cj}``) is kept for cross-validation in tests.
+
+Per-change deltas, graphs and hashes are cached; pairwise verdicts are
+cached symmetrically.  The analyzer is deliberately stateless about *which*
+changes are pending — the conflict graph layer handles that.
+
+:class:`LabelConflictAnalyzer` is the label-mode twin used by the big
+simulation sweeps: it reads affected-target names off ground-truth labels
+instead of running the build system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.buildsys.delta import delta_names, equation6_conflict
+from repro.buildsys.graph import BuildGraph
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.loader import load_build_graph
+from repro.changes.change import Change
+from repro.conflict.union_graph import UnionGraph
+from repro.errors import PatchConflictError
+from repro.types import AffectedTarget, ChangeId, Path, TargetName
+from repro.vcs.patch import three_way_conflicts
+
+
+@dataclass
+class ConflictAnalyzerStats:
+    """Counters for fast/slow path usage, exposed for section-5.2 benches."""
+
+    fast_path: int = 0
+    slow_path: int = 0
+    textual: int = 0
+    cached: int = 0
+
+    @property
+    def checks(self) -> int:
+        return self.fast_path + self.slow_path + self.textual
+
+    @property
+    def fast_path_rate(self) -> float:
+        return self.fast_path / self.checks if self.checks else 0.0
+
+
+@dataclass
+class _ChangeAnalysis:
+    """Cached per-change artifacts against one base snapshot."""
+
+    snapshot: Mapping[Path, str]
+    graph: BuildGraph
+    hashes: Dict[TargetName, str]
+    delta: FrozenSet[AffectedTarget]
+    structure_changed: bool
+
+
+class ConflictAnalyzer:
+    """Build-target-hash based pairwise conflict detection."""
+
+    def __init__(self, base_snapshot: Mapping[Path, str],
+                 base_graph: Optional[BuildGraph] = None) -> None:
+        self._base_snapshot = base_snapshot
+        self._base_graph = base_graph or load_build_graph(base_snapshot)
+        self._base_hashes = TargetHasher(self._base_graph, base_snapshot).all_hashes()
+        self._base_structure = self._base_graph.structure()
+        self._per_change: Dict[ChangeId, _ChangeAnalysis] = {}
+        self._pair_cache: Dict[Tuple[ChangeId, ChangeId], bool] = {}
+        self.stats = ConflictAnalyzerStats()
+
+    # -- per-change analysis ------------------------------------------------
+
+    def analyze(self, change: Change) -> _ChangeAnalysis:
+        """Compute (and cache) the change's snapshot, graph, and delta."""
+        cached = self._per_change.get(change.change_id)
+        if cached is not None:
+            return cached
+        if change.patch is None:
+            raise ValueError(f"change {change.change_id} carries no patch")
+        snapshot = change.patch.apply(self._base_snapshot)
+        graph = load_build_graph(snapshot)
+        hasher = TargetHasher(graph, snapshot)
+        hashes = hasher.all_hashes()
+        delta = frozenset(
+            AffectedTarget(name, digest)
+            for name, digest in hashes.items()
+            if self._base_hashes.get(name) != digest
+        )
+        analysis = _ChangeAnalysis(
+            snapshot=snapshot,
+            graph=graph,
+            hashes=hashes,
+            delta=delta,
+            structure_changed=graph.structure() != self._base_structure,
+        )
+        self._per_change[change.change_id] = analysis
+        return analysis
+
+    def affected_targets(self, change: Change) -> FrozenSet[AffectedTarget]:
+        """The paper's ``δ_{H⊕C}`` for one change."""
+        return self.analyze(change).delta
+
+    def changes_build_graph(self, change: Change) -> bool:
+        """Whether the change alters build-graph structure (section 5.2)."""
+        return self.analyze(change).structure_changed
+
+    # -- pairwise conflicts ---------------------------------------------------
+
+    def conflict(self, first: Change, second: Change) -> bool:
+        """Do two changes potentially conflict against the base snapshot?"""
+        if first.change_id == second.change_id:
+            return False
+        key = tuple(sorted((first.change_id, second.change_id)))
+        if key in self._pair_cache:
+            self.stats.cached += 1
+            return self._pair_cache[key]
+        verdict = self._conflict_uncached(first, second)
+        self._pair_cache[key] = verdict
+        return verdict
+
+    def _conflict_uncached(self, first: Change, second: Change) -> bool:
+        assert first.patch is not None and second.patch is not None
+        # Textual overlap is a conflict regardless of target structure: the
+        # patches cannot even merge cleanly.
+        if three_way_conflicts(first.patch, second.patch):
+            self.stats.textual += 1
+            return True
+        a = self.analyze(first)
+        b = self.analyze(second)
+        if not a.structure_changed and not b.structure_changed:
+            # Fast path: structure identical, name intersection is exact.
+            self.stats.fast_path += 1
+            return bool(delta_names(a.delta) & delta_names(b.delta))
+        self.stats.slow_path += 1
+        union = UnionGraph(
+            self._base_graph,
+            self._base_hashes,
+            a.graph,
+            a.hashes,
+            b.graph,
+            b.hashes,
+        )
+        union.propagate()
+        return union.conflicts()
+
+    def conflict_equation6(self, first: Change, second: Change) -> bool:
+        """Exact Equation-6 check (builds the combined snapshot).
+
+        Used by tests to validate the union-graph algorithm; O(n²) build
+        graphs, so never used on the hot path.  Changes whose patches
+        cannot compose textually conflict by definition.
+        """
+        assert first.patch is not None and second.patch is not None
+        a = self.analyze(first)
+        b = self.analyze(second)
+        try:
+            combined = second.patch.apply(a.snapshot)
+        except PatchConflictError:
+            return True
+        combined_graph = load_build_graph(combined)
+        combined_hashes = TargetHasher(combined_graph, combined).all_hashes()
+        delta_ij = frozenset(
+            AffectedTarget(name, digest)
+            for name, digest in combined_hashes.items()
+            if self._base_hashes.get(name) != digest
+        )
+        return equation6_conflict(a.delta, b.delta, delta_ij)
+
+
+class LabelConflictAnalyzer:
+    """Label-mode analyzer: potential conflict = affected-name overlap.
+
+    Ground-truth labels carry each change's affected-target name set, so
+    the potential-conflict relation is the same one the full analyzer's
+    fast path computes — without touching the build system.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ConflictAnalyzerStats()
+
+    def affected_names(self, change: Change) -> FrozenSet[TargetName]:
+        if change.ground_truth is None:
+            raise ValueError(f"change {change.change_id} carries no labels")
+        return change.ground_truth.target_names
+
+    def changes_build_graph(self, change: Change) -> bool:
+        if change.ground_truth is None:
+            raise ValueError(f"change {change.change_id} carries no labels")
+        return change.ground_truth.changes_build_graph
+
+    def conflict(self, first: Change, second: Change) -> bool:
+        if first.change_id == second.change_id:
+            return False
+        self.stats.fast_path += 1
+        return bool(self.affected_names(first) & self.affected_names(second))

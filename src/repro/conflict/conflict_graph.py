@@ -1,0 +1,126 @@
+"""The conflict graph over pending changes (paper sections 3.2 and 5).
+
+Nodes are pending change ids; an undirected edge joins two changes that
+potentially conflict.  The speculation engine consumes two queries:
+
+* ``ancestors(c)`` — earlier pending changes that conflict with ``c``
+  (these are the only changes ``c`` must speculate on);
+* connected components — independent components build and commit fully in
+  parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.changes.change import Change
+from repro.errors import UnknownChangeError
+from repro.types import ChangeId
+
+ConflictPredicate = Callable[[Change, Change], bool]
+
+
+class ConflictGraph:
+    """Incrementally maintained conflict graph over pending changes."""
+
+    def __init__(self, conflict_predicate: ConflictPredicate) -> None:
+        self._predicate = conflict_predicate
+        self._changes: Dict[ChangeId, Change] = {}
+        self._order: Dict[ChangeId, int] = {}
+        self._edges: Dict[ChangeId, Set[ChangeId]] = {}
+        self._next_seq = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._changes)
+
+    def __contains__(self, change_id: ChangeId) -> bool:
+        return change_id in self._changes
+
+    def change(self, change_id: ChangeId) -> Change:
+        try:
+            return self._changes[change_id]
+        except KeyError:
+            raise UnknownChangeError(change_id) from None
+
+    def add(self, change: Change) -> Set[ChangeId]:
+        """Add a pending change; returns the ids it conflicts with.
+
+        Pairwise predicate calls happen once per (existing, new) pair; the
+        analyzer behind the predicate caches everything heavier.
+        """
+        if change.change_id in self._changes:
+            raise ValueError(f"{change.change_id} already in conflict graph")
+        neighbors: Set[ChangeId] = set()
+        for other_id, other in self._changes.items():
+            if self._predicate(change, other):
+                neighbors.add(other_id)
+        self._changes[change.change_id] = change
+        self._order[change.change_id] = self._next_seq
+        self._next_seq += 1
+        self._edges[change.change_id] = neighbors
+        for other_id in neighbors:
+            self._edges[other_id].add(change.change_id)
+        return neighbors
+
+    def remove(self, change_id: ChangeId) -> None:
+        """Remove a decided change and its edges."""
+        self.change(change_id)
+        for other_id in self._edges.pop(change_id, set()):
+            self._edges[other_id].discard(change_id)
+        del self._changes[change_id]
+        del self._order[change_id]
+
+    # -- queries --------------------------------------------------------------
+
+    def neighbors(self, change_id: ChangeId) -> Set[ChangeId]:
+        """Changes that potentially conflict with ``change_id``."""
+        self.change(change_id)
+        return set(self._edges[change_id])
+
+    def ancestors(self, change_id: ChangeId) -> List[ChangeId]:
+        """Earlier conflicting changes, in submit order.
+
+        These are exactly the changes whose outcomes ``change_id`` must
+        speculate over; independent changes never appear.
+        """
+        pivot = self._order[change_id]
+        older = [
+            other_id
+            for other_id in self._edges[change_id]
+            if self._order[other_id] < pivot
+        ]
+        older.sort(key=lambda cid: self._order[cid])
+        return older
+
+    def is_independent(self, change_id: ChangeId) -> bool:
+        """True when the change conflicts with no pending change."""
+        return not self._edges[self.change(change_id).change_id]
+
+    def in_order(self) -> List[ChangeId]:
+        """All pending change ids, oldest first."""
+        return sorted(self._changes, key=lambda cid: self._order[cid])
+
+    def components(self) -> List[List[ChangeId]]:
+        """Connected components, each in submit order, oldest-first overall."""
+        seen: Set[ChangeId] = set()
+        components: List[List[ChangeId]] = []
+        for change_id in self.in_order():
+            if change_id in seen:
+                continue
+            component: List[ChangeId] = []
+            stack = [change_id]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                component.append(current)
+                stack.extend(self._edges[current] - seen)
+            component.sort(key=lambda cid: self._order[cid])
+            components.append(component)
+        return components
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._edges.values()) // 2

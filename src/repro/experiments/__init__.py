@@ -1,0 +1,17 @@
+"""Reproductions of every figure in the paper's evaluation (section 8).
+
+One module per figure, each exposing a ``run(...)`` function that returns
+a structured result object and a ``format_table(result)`` helper that
+renders the same rows/series the paper plots.  The benchmark suite under
+``benchmarks/`` calls these and prints paper-vs-measured comparisons;
+EXPERIMENTS.md records the outcomes.
+
+Scale note: the paper replays nine months of production changes on a
+build fleet.  These reproductions default to stream sizes that finish on
+a laptop in minutes; every ``run`` takes explicit size parameters so the
+full-scale sweep is one argument away.
+"""
+
+from repro.experiments import runner
+
+__all__ = ["runner"]

@@ -1,0 +1,158 @@
+"""Figures 5–8: the paper's worked examples, reconstructed executably.
+
+These are diagram figures, not measurements; reproducing them means
+building the exact structures the paper draws and letting the real code
+derive the same shapes:
+
+* **Figure 5** — the speculation tree for three mutually conflicting
+  changes (7 builds, ``2^n - 1``);
+* **Figure 6** — C1 ⊥ C2, both conflicting with C3: the conflict graph
+  trims the tree to 1 + 1 + 4 builds and C1/C2 commit in parallel;
+* **Figure 7** — C1 conflicts with C2 and C3, C2 ⊥ C3: five builds;
+* **Figure 8** — the target-hash example where two changes' affected
+  names are disjoint yet Equation 6 / the union graph detect a conflict.
+
+`benchmarks/` does not run these (nothing to measure); `tests/` asserts
+every derived count and verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.buildsys.delta import affected_targets, delta_names, equation6_conflict
+from repro.buildsys.loader import load_build_graph
+from repro.conflict.union_graph import union_graph_conflict
+from repro.experiments.runner import format_table
+from repro.speculation.tree import enumerate_tree
+from repro.types import BuildKey
+
+
+@dataclass
+class SpeculationShape:
+    """Build counts per change for one conflict structure."""
+
+    title: str
+    builds_per_change: Dict[str, int]
+    total_builds: int
+    keys: List[BuildKey]
+
+
+def _shape(title: str, ancestors: Mapping[str, Sequence[str]]) -> SpeculationShape:
+    nodes = enumerate_tree(
+        dict(ancestors), {cid: 0.5 for cid in ancestors}
+    )
+    per_change: Dict[str, int] = {cid: 0 for cid in ancestors}
+    for node in nodes:
+        per_change[node.change_id] += 1
+    return SpeculationShape(
+        title=title,
+        builds_per_change=per_change,
+        total_builds=len(nodes),
+        keys=[node.key for node in nodes],
+    )
+
+
+def figure5() -> SpeculationShape:
+    """All three changes conflict: the full binary decision tree."""
+    return _shape(
+        "Figure 5: C1, C2, C3 all conflicting",
+        {"C1": [], "C2": ["C1"], "C3": ["C1", "C2"]},
+    )
+
+
+def figure6() -> SpeculationShape:
+    """C1 ⊥ C2; C3 conflicts with both."""
+    return _shape(
+        "Figure 6: C1 ⊥ C2, C3 conflicts with both",
+        {"C1": [], "C2": [], "C3": ["C1", "C2"]},
+    )
+
+
+def figure7() -> SpeculationShape:
+    """C1 conflicts with C2 and C3; C2 ⊥ C3."""
+    return _shape(
+        "Figure 7: C1-C2 and C1-C3 conflict, C2 ⊥ C3",
+        {"C1": [], "C2": ["C1"], "C3": ["C1"]},
+    )
+
+
+@dataclass
+class Figure8Verdict:
+    """The Figure-8 scenario's derived facts."""
+
+    names_intersect: bool
+    equation6_conflicts: bool
+    union_graph_conflicts: bool
+
+
+#: Figure 8's base tree: Y depends on X; Z independent.
+FIGURE8_BASE = {
+    "x/BUILD": "target(name='x', srcs=['x.py'])",
+    "x/x.py": "X",
+    "y/BUILD": "target(name='y', srcs=['y.py'], deps=['//x:x'])",
+    "y/y.py": "Y",
+    "z/BUILD": "target(name='z', srcs=['z.py'])",
+    "z/z.py": "Z",
+}
+
+
+def figure8() -> Figure8Verdict:
+    """C1 edits X's sources; C2 makes Z depend on Y."""
+    with_c1 = dict(FIGURE8_BASE, **{"x/x.py": "X-changed"})
+    with_c2 = dict(
+        FIGURE8_BASE,
+        **{"z/BUILD": "target(name='z', srcs=['z.py'], deps=['//y:y'])"},
+    )
+    with_both = dict(
+        with_c1,
+        **{"z/BUILD": "target(name='z', srcs=['z.py'], deps=['//y:y'])"},
+    )
+    delta_1 = affected_targets(FIGURE8_BASE, with_c1)
+    delta_2 = affected_targets(FIGURE8_BASE, with_c2)
+    delta_12 = affected_targets(FIGURE8_BASE, with_both)
+    base_graph = load_build_graph(FIGURE8_BASE)
+    return Figure8Verdict(
+        names_intersect=bool(delta_names(delta_1) & delta_names(delta_2)),
+        equation6_conflicts=equation6_conflict(delta_1, delta_2, delta_12),
+        union_graph_conflicts=union_graph_conflict(
+            FIGURE8_BASE,
+            base_graph,
+            with_c1,
+            load_build_graph(with_c1),
+            with_c2,
+            load_build_graph(with_c2),
+        ),
+    )
+
+
+def format_result() -> str:
+    """All four figures as one text block."""
+    rows = []
+    for shape in (figure5(), figure6(), figure7()):
+        rows.append(
+            [
+                shape.title,
+                ", ".join(
+                    f"{cid}:{count}"
+                    for cid, count in sorted(shape.builds_per_change.items())
+                ),
+                str(shape.total_builds),
+            ]
+        )
+    table = format_table(
+        ["structure", "builds per change", "total"],
+        rows,
+        title="Figures 5-7: speculation graph shapes",
+    )
+    verdict = figure8()
+    return (
+        table
+        + "\n\nFigure 8: affected-name intersection = "
+        + str(verdict.names_intersect)
+        + ", Equation-6 conflict = "
+        + str(verdict.equation6_conflicts)
+        + ", union-graph conflict = "
+        + str(verdict.union_graph_conflicts)
+    )

@@ -1,0 +1,89 @@
+"""Figure 9: CDF of build durations for the iOS/Android monorepos.
+
+The paper's Figure 9 shows near-identical duration CDFs for both
+platforms, median around half an hour, tail to ~120 minutes.  This module
+reports the analytic CDF of the calibrated models alongside an empirical
+CDF of samples (what the simulator actually draws).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import format_table
+from repro.metrics.cdf import Cdf
+from repro.sim.durations import ANDROID_DURATIONS, IOS_DURATIONS, BuildDurationModel
+
+
+@dataclass
+class Figure9Result:
+    grid_minutes: List[float]
+    analytic: Dict[str, List[float]]
+    empirical: Dict[str, List[float]]
+    medians: Dict[str, float]
+
+
+def run(
+    grid_minutes: Sequence[float] = (10, 20, 30, 45, 60, 90, 120),
+    samples: int = 20_000,
+    seed: int = 909,
+) -> Figure9Result:
+    rng = np.random.default_rng(seed)
+    models: Dict[str, BuildDurationModel] = {
+        "iOS": IOS_DURATIONS,
+        "Android": ANDROID_DURATIONS,
+    }
+    analytic: Dict[str, List[float]] = {}
+    empirical: Dict[str, List[float]] = {}
+    medians: Dict[str, float] = {}
+    for platform, model in models.items():
+        analytic[platform] = model.cdf_series(grid_minutes)
+        draws = model.sample(rng, size=samples)
+        cdf = Cdf(list(np.asarray(draws)))
+        empirical[platform] = cdf.series(grid_minutes)
+        medians[platform] = cdf.quantile(0.5)
+    return Figure9Result(
+        grid_minutes=list(grid_minutes),
+        analytic=analytic,
+        empirical=empirical,
+        medians=medians,
+    )
+
+
+def format_result(result: Figure9Result) -> str:
+    rows = []
+    for index, minutes in enumerate(result.grid_minutes):
+        rows.append(
+            [
+                f"{minutes:g}",
+                f"{result.analytic['iOS'][index]:.3f}",
+                f"{result.empirical['iOS'][index]:.3f}",
+                f"{result.analytic['Android'][index]:.3f}",
+                f"{result.empirical['Android'][index]:.3f}",
+            ]
+        )
+    from repro.metrics.ascii_plot import line_plot
+
+    table = format_table(
+        ["minutes", "iOS cdf", "iOS emp", "Android cdf", "Android emp"],
+        rows,
+        title=(
+            "Figure 9: build-duration CDF "
+            f"(medians: iOS {result.medians['iOS']:.1f} min, "
+            f"Android {result.medians['Android']:.1f} min)"
+        ),
+    )
+    plot = line_plot(
+        {
+            "iOS": list(zip(result.grid_minutes, result.empirical["iOS"])),
+            "Android": list(zip(result.grid_minutes, result.empirical["Android"])),
+        },
+        width=56,
+        height=12,
+        x_label="build duration (minutes)",
+        y_label="CDF",
+    )
+    return table + "\n\n" + plot

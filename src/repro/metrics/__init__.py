@@ -1,0 +1,14 @@
+"""Metrics: percentiles, CDFs, and evaluation collectors."""
+
+from repro.metrics.percentile import percentile, percentiles, summarize
+from repro.metrics.cdf import Cdf
+from repro.metrics.collector import GreennessTracker, TurnaroundStats
+
+__all__ = [
+    "Cdf",
+    "GreennessTracker",
+    "TurnaroundStats",
+    "percentile",
+    "percentiles",
+    "summarize",
+]

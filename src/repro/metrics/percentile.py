@@ -1,0 +1,34 @@
+"""Percentile helpers used by every evaluation table."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("percentile of empty data")
+    return float(np.percentile(data, q))
+
+
+def percentiles(values: Sequence[float], qs: Iterable[float]) -> List[float]:
+    """Several percentiles at once."""
+    return [percentile(values, q) for q in qs]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """The P50/P95/P99 + mean summary the paper reports."""
+    data = list(values)
+    return {
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+        "mean": float(np.mean(np.asarray(data, dtype=float))),
+        "count": float(len(data)),
+    }

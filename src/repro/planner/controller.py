@@ -1,0 +1,191 @@
+"""Build controllers: outcome and duration of one speculative build.
+
+Two fidelities behind one interface:
+
+* :class:`LabelBuildController` — reads ground-truth labels and sampled
+  durations; used by the large evaluation sweeps.  Minimal-build-step
+  elimination shows up as a cost model: with elimination on, the build for
+  ``H ⊕ S ⊕ C`` costs only ``C``'s own steps (prior builds covered ``S``);
+  with it off, stacked changes' steps re-run and the build costs more.
+* :class:`FullStackBuildController` — merges patches for real, loads
+  build graphs, and executes synthetic steps through
+  :class:`~repro.buildsys.executor.BuildExecutor`.  Elimination falls out
+  of the shared :class:`~repro.buildsys.cache.ArtifactCache`: steps whose
+  target hash was already built (by a parent speculation or an earlier
+  epoch) are cache hits, and the duration model charges only executed
+  steps.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.buildsys.cache import ArtifactCache
+from repro.buildsys.executor import BuildExecutor
+from repro.changes.change import Change
+from repro.changes.truth import stack_outcome
+from repro.errors import PatchConflictError
+from repro.types import BuildKey, ChangeId
+from repro.vcs.patch import squash
+from repro.vcs.repository import Repository
+
+
+@dataclass(frozen=True)
+class BuildExecution:
+    """What running one build costs and yields."""
+
+    key: BuildKey
+    success: bool
+    duration: float
+    steps_executed: int = 0
+    steps_cached: int = 0
+    failure_reason: str = ""
+
+
+class BuildController(abc.ABC):
+    """Interface the planner uses to run builds."""
+
+    @abc.abstractmethod
+    def execute(
+        self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
+    ) -> BuildExecution:
+        """Determine the build's outcome and duration.
+
+        ``changes_by_id`` must contain the build's change and every change
+        in its assumed set.
+        """
+
+
+class LabelBuildController(BuildController):
+    """Ground-truth outcomes with a step-elimination cost model.
+
+    ``stacking_overhead`` is the fraction of each stacked change's duration
+    that re-runs when elimination is disabled (the paper's build controller
+    "eliminates build steps that are being executed by prior builds";
+    turning that off makes deep speculation proportionally costlier).
+    """
+
+    def __init__(
+        self,
+        step_elimination: bool = True,
+        stacking_overhead: float = 0.35,
+        default_duration: float = 30.0,
+    ) -> None:
+        if stacking_overhead < 0.0:
+            raise ValueError("stacking_overhead must be non-negative")
+        self.step_elimination = step_elimination
+        self.stacking_overhead = stacking_overhead
+        self.default_duration = default_duration
+
+    def _duration_of(self, change: Change) -> float:
+        if change.build_duration is not None:
+            return change.build_duration
+        return self.default_duration
+
+    def execute(
+        self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
+    ) -> BuildExecution:
+        change = changes_by_id[key.change_id]
+        assumed = [changes_by_id[cid] for cid in sorted(key.assumed)]
+        success = stack_outcome(assumed + [change])
+        duration = self._duration_of(change)
+        if not self.step_elimination:
+            duration += self.stacking_overhead * sum(
+                self._duration_of(other) for other in assumed
+            )
+        return BuildExecution(
+            key=key,
+            success=success,
+            duration=duration,
+            failure_reason="" if success else "ground-truth failure",
+        )
+
+
+class FullStackBuildController(BuildController):
+    """Real builds: merge patches, load graphs, execute synthetic steps.
+
+    ``step_minutes`` converts executed step counts into simulated build
+    duration; cached steps cost ``cached_step_minutes`` (near zero).
+    The ``base_commit_id`` pins the HEAD the controller merges onto; the
+    planner refreshes it as changes land.
+    """
+
+    def __init__(
+        self,
+        repo: Repository,
+        cache: Optional[ArtifactCache] = None,
+        step_minutes: float = 1.0,
+        cached_step_minutes: float = 0.01,
+    ) -> None:
+        self._repo = repo
+        self.executor = BuildExecutor(cache)
+        self.step_minutes = step_minutes
+        self.cached_step_minutes = cached_step_minutes
+        self.base_commit_id = repo.head()
+
+    def refresh_base(self) -> None:
+        """Re-pin the merge base to the current mainline HEAD."""
+        self.base_commit_id = self._repo.head()
+
+    def on_commit(
+        self, change: Change, changes_by_id: Mapping[ChangeId, Change]
+    ) -> None:
+        """Land a decided change on the mainline and re-pin the base.
+
+        Called by the planner exactly when the change's decisive build
+        succeeded, so the mainline stays green by construction.
+        """
+        if change.patch is None:
+            raise ValueError(f"change {change.change_id} carries no patch")
+        self._repo.commit_to_mainline(
+            change.patch,
+            message=change.description or change.change_id,
+            author=change.developer_id,
+            green=True,
+        )
+        self.refresh_base()
+
+    def execute(
+        self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
+    ) -> BuildExecution:
+        change = changes_by_id[key.change_id]
+        assumed = [changes_by_id[cid] for cid in sorted(key.assumed)]
+        base_snapshot = self._repo.snapshot(self.base_commit_id).to_dict()
+
+        patches = []
+        for other in assumed + [change]:
+            if other.patch is None:
+                raise ValueError(f"change {other.change_id} carries no patch")
+            patches.append(other.patch)
+        # Merge in submission order; a textual conflict fails the build the
+        # same way a failed merge fails it in production.
+        merged = dict(base_snapshot)
+        try:
+            for patch in patches:
+                merged = patch.apply(merged)
+        except PatchConflictError as exc:
+            return BuildExecution(
+                key=key,
+                success=False,
+                duration=self.step_minutes,
+                failure_reason=f"merge conflict: {exc}",
+            )
+
+        report = self.executor.build_affected(
+            base_snapshot, merged, stop_on_failure=True
+        )
+        duration = (
+            report.steps_executed * self.step_minutes
+            + report.steps_cached * self.cached_step_minutes
+        )
+        failure = report.first_failure()
+        return BuildExecution(
+            key=key,
+            success=report.success,
+            duration=max(duration, self.cached_step_minutes),
+            steps_executed=report.steps_executed,
+            steps_cached=report.steps_cached,
+            failure_reason="" if failure is None else failure.log,
+        )

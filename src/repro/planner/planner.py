@@ -1,0 +1,433 @@
+"""The planner engine (paper sections 3.2 and 6).
+
+Event-driven core shared by every strategy:
+
+* :meth:`PlannerEngine.submit` — enqueue a change, extend the conflict
+  graph, freeze the change's conflicting-ancestor list;
+* :meth:`PlannerEngine.plan` — ask the strategy for the current most
+  valuable builds, abort running builds that fell out of the selection,
+  start newly selected ones on free workers;
+* :meth:`PlannerEngine.complete` — record a finished build, then commit or
+  reject every change whose fate is now decided (a change's *decisive*
+  build is the one whose assumed set equals the ancestors that actually
+  committed), cascading until a fixpoint.
+
+The simulator owns time; the planner is a pure state machine over
+``now`` values it is handed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.changes.change import Change
+from repro.changes.queue import PendingQueue
+from repro.changes.state import ChangeLedger, ChangeRecord
+from repro.conflict.conflict_graph import ConflictGraph
+from repro.planner.controller import BuildController, BuildExecution
+from repro.planner.workers import WorkerPool
+from repro.types import BuildKey, ChangeId, ChangeState
+
+
+@dataclass(frozen=True)
+class ScheduledBuild:
+    """A build the planner just started; the simulator times it."""
+
+    key: BuildKey
+    duration: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A terminal verdict on one change."""
+
+    change_id: ChangeId
+    committed: bool
+    at: float
+    reason: str = ""
+
+
+@dataclass
+class BuildRecord:
+    """Planner-side bookkeeping for one build key."""
+
+    key: BuildKey
+    execution: BuildExecution
+    started_at: float
+    completed_at: Optional[float] = None
+    aborted: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class PlannerStats:
+    """Aggregate counters for ablation benches."""
+
+    builds_started: int = 0
+    builds_completed: int = 0
+    builds_aborted: int = 0
+    build_minutes: float = 0.0
+    wasted_minutes: float = 0.0
+    plan_calls: int = 0
+
+
+class PlannerView:
+    """Read-only view strategies use to pick builds."""
+
+    def __init__(self, planner: "PlannerEngine") -> None:
+        self._planner = planner
+
+    @property
+    def pending(self) -> List[Change]:
+        """Pending changes in submission order."""
+        return self._planner.queue.in_order()
+
+    @property
+    def ancestors(self) -> Mapping[ChangeId, Sequence[ChangeId]]:
+        """Each pending change's conflicting predecessors (submit order)."""
+        return self._planner.ancestors
+
+    @property
+    def decided(self) -> Mapping[ChangeId, bool]:
+        """Decided change ids -> committed?"""
+        return self._planner.decided
+
+    @property
+    def records(self) -> Mapping[ChangeId, ChangeRecord]:
+        return self._planner.records
+
+    @property
+    def changes_by_id(self) -> Mapping[ChangeId, Change]:
+        return self._planner.all_changes
+
+    def running_keys(self) -> Set[BuildKey]:
+        return set(self._planner.workers.running_builds())
+
+    def conflict_degree(self, change_id: ChangeId) -> int:
+        """Number of pending changes this one conflicts with (any order)."""
+        return len(self._planner.conflict_graph.neighbors(change_id))
+
+    def completed_outcome(self, key: BuildKey) -> Optional[bool]:
+        """Outcome of a finished build, or ``None``."""
+        record = self._planner.builds.get(key)
+        if record is None or not record.done or record.aborted:
+            return None
+        return record.execution.success
+
+
+class PlannerEngine:
+    """Shared orchestration: queue + conflict graph + workers + decisions."""
+
+    def __init__(
+        self,
+        strategy,
+        controller: BuildController,
+        workers: WorkerPool,
+        conflict_predicate: Callable[[Change, Change], bool],
+        preemption_grace: float = 0.0,
+    ) -> None:
+        """``preemption_grace``: a running build within this many minutes
+        of completion is never aborted even when deselected — the paper's
+        section-10 build-preemption refinement ("if a build is near its
+        completion, it might be beneficial to continue running its build
+        steps, instead of preemptively aborting").  0 disables it."""
+        if preemption_grace < 0:
+            raise ValueError("preemption_grace must be non-negative")
+        self.preemption_grace = preemption_grace
+        self.strategy = strategy
+        self.controller = controller
+        self.workers = workers
+        self.queue = PendingQueue()
+        self.ledger = ChangeLedger()
+        self.conflict_graph = ConflictGraph(conflict_predicate)
+        #: Frozen at submit time: conflicting changes pending at arrival.
+        self.ancestors: Dict[ChangeId, List[ChangeId]] = {}
+        self.decided: Dict[ChangeId, bool] = {}
+        self.records: Dict[ChangeId, ChangeRecord] = {}
+        self.all_changes: Dict[ChangeId, Change] = {}
+        self.builds: Dict[BuildKey, BuildRecord] = {}
+        self._builds_by_change: Dict[ChangeId, List[BuildKey]] = {}
+        self.stats = PlannerStats()
+        self._view = PlannerView(self)
+        self._decision_log: List[Decision] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, change: Change, now: float) -> ChangeRecord:
+        """Register a freshly submitted change as pending."""
+        record = self.ledger.register(change, now)
+        self.records[change.change_id] = record
+        self.all_changes[change.change_id] = change
+        self.queue.enqueue(change)
+        conflicting = self.conflict_graph.add(change)
+        # Ancestors are the conflicting changes that were already pending;
+        # submission order makes them exactly the graph's older neighbors.
+        self.ancestors[change.change_id] = self.conflict_graph.ancestors(
+            change.change_id
+        )
+        del conflicting  # symmetric info, only ancestors drive speculation
+        hook = getattr(self.strategy, "on_submit", None)
+        if hook is not None:
+            hook(change, self._view)
+        return record
+
+    # -- reordering (section 10 future work) ---------------------------------
+
+    def reorder(self, ahead_id: ChangeId, behind_id: ChangeId) -> bool:
+        """Let ``behind_id`` jump ``ahead_id`` in the conflict order.
+
+        Both must be pending and ``ahead_id`` must currently be a
+        conflicting ancestor of ``behind_id``.  After the swap the jumped
+        change speculates on the jumper instead ("reorder non-independent
+        changes in order to improve throughput", section 10).  Swaps that
+        would create an ancestor cycle (deadlock) are refused; returns
+        whether the swap was applied.
+        """
+        if ahead_id not in self.queue or behind_id not in self.queue:
+            return False
+        behind_ancestors = self.ancestors[behind_id]
+        if ahead_id not in behind_ancestors:
+            return False
+        behind_ancestors.remove(ahead_id)
+        self.ancestors[ahead_id].append(behind_id)
+        if self._ancestors_have_cycle():
+            # Roll back: the swap would deadlock decisions.
+            self.ancestors[ahead_id].remove(behind_id)
+            behind_ancestors.append(ahead_id)
+            return False
+        return True
+
+    def _ancestors_have_cycle(self) -> bool:
+        """Detect a cycle among *pending* changes' ancestor edges."""
+        pending_ids = {change.change_id for change in self.queue}
+        state: Dict[ChangeId, int] = {}  # 0=visiting, 1=done
+
+        def visit(node: ChangeId) -> bool:
+            mark = state.get(node)
+            if mark == 0:
+                return True  # back edge
+            if mark == 1:
+                return False
+            state[node] = 0
+            for ancestor in self.ancestors.get(node, ()):
+                if ancestor in pending_ids and visit(ancestor):
+                    return True
+            state[node] = 1
+            return False
+
+        return any(visit(cid) for cid in pending_ids)
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, now: float) -> "PlanResult":
+        """One epoch: select builds, abort stale ones, start new ones."""
+        self.stats.plan_calls += 1
+        propose = getattr(self.strategy, "propose_reorders", None)
+        if propose is not None:
+            for ahead_id, behind_id in propose(self._view):
+                self.reorder(ahead_id, behind_id)
+        budget = self.workers.capacity
+        selected: List[BuildKey] = self.strategy.select(self._view, budget)
+        selected_set = set(selected)
+
+        aborted: List[BuildKey] = []
+        for key in self.workers.running_builds():
+            if key in selected_set:
+                continue
+            if self.preemption_grace > 0.0:
+                record = self.builds.get(key)
+                if record is not None:
+                    remaining = (
+                        record.started_at + record.execution.duration - now
+                    )
+                    if 0.0 <= remaining <= self.preemption_grace:
+                        continue  # nearly done: let it finish
+            self._abort(key, now)
+            aborted.append(key)
+
+        started: List[ScheduledBuild] = []
+        for key in selected:
+            if self.workers.free == 0:
+                break
+            if self.workers.is_running(key):
+                continue
+            existing = self.builds.get(key)
+            if existing is not None and existing.done and not existing.aborted:
+                continue  # result already known; never rebuild
+            started.append(self._start(key, now))
+
+        # Stall guard: if the strategy selected nothing runnable while work
+        # is pending, force the oldest pending change's decisive build (its
+        # ancestors are all decided by definition of "oldest pending"), so
+        # the system always makes progress.
+        if not started and self.workers.busy == 0 and len(self.queue) > 0:
+            head = self.queue.head()
+            assert head is not None
+            key = self._decisive_key(head.change_id)
+            if key is not None:
+                existing = self.builds.get(key)
+                if existing is None or existing.aborted or not existing.done:
+                    if not self.workers.is_running(key):
+                        started.append(self._start(key, now))
+        return PlanResult(started=started, aborted=aborted)
+
+    def _start(self, key: BuildKey, now: float) -> ScheduledBuild:
+        execution = self.controller.execute(key, self.all_changes)
+        if key not in self.builds:
+            self._builds_by_change.setdefault(key.change_id, []).append(key)
+        self.builds[key] = BuildRecord(key=key, execution=execution, started_at=now)
+        self.workers.assign(key, now)
+        record = self.records.get(key.change_id)
+        if record is not None:
+            record.builds_scheduled += 1
+        self.stats.builds_started += 1
+        return ScheduledBuild(key=key, duration=execution.duration)
+
+    def _abort(self, key: BuildKey, now: float) -> None:
+        self.workers.release(key, now)
+        record = self.builds.get(key)
+        if record is not None:
+            record.aborted = True
+            self.stats.wasted_minutes += max(0.0, now - record.started_at)
+        change_record = self.records.get(key.change_id)
+        if change_record is not None:
+            change_record.builds_aborted += 1
+        self.stats.builds_aborted += 1
+
+    # -- completion & decisions -----------------------------------------------
+
+    def complete(self, key: BuildKey, now: float) -> List[Decision]:
+        """Record a finished build and decide every change it settles."""
+        record = self.builds.get(key)
+        if record is None or record.aborted or record.done:
+            return []  # stale completion (build was aborted meanwhile)
+        self.workers.release(key, now)
+        record.completed_at = now
+        self.stats.builds_completed += 1
+        self.stats.build_minutes += record.execution.duration
+
+        change_record = self.records.get(key.change_id)
+        if change_record is not None and not change_record.state.is_terminal:
+            if record.execution.success:
+                change_record.speculations_succeeded += 1
+            else:
+                change_record.speculations_failed += 1
+
+        interpret = getattr(self.strategy, "interpret", None)
+        decisions: List[Decision] = []
+        if interpret is not None:
+            custom = interpret(key, record.execution.success, self._view, now)
+            if custom is not None:
+                for decision in custom:
+                    self._apply_decision(decision)
+                    decisions.append(decision)
+        decisions.extend(self._decide_ready(now))
+        return decisions
+
+    def _decisive_key(self, change_id: ChangeId) -> Optional[BuildKey]:
+        """The build that settles ``change_id``, once all ancestors decided."""
+        committed: Set[ChangeId] = set()
+        for ancestor_id in self.ancestors[change_id]:
+            verdict = self.decided.get(ancestor_id)
+            if verdict is None:
+                return None  # an ancestor is still pending
+            if verdict:
+                committed.add(ancestor_id)
+        return BuildKey(change_id, frozenset(committed))
+
+    def _usable_build(self, change_id: ChangeId, decisive: BuildKey) -> Optional[BuildRecord]:
+        """A finished build whose result decides ``change_id``.
+
+        The decisive key itself always qualifies.  So does any finished
+        build whose assumed set (a) covers exactly the committed conflicting
+        ancestors and (b) otherwise stacks only *committed* changes:
+        committed extras are individually healthy and, not being conflict
+        ancestors, cannot interact with the subject — the stack is
+        equivalent to HEAD plus the change.  Optimistic (Zuul-style) chains
+        rely on this rule to convert their all-ahead builds into decisions.
+        """
+        exact = self.builds.get(decisive)
+        if exact is not None and exact.done and not exact.aborted:
+            return exact
+        ancestor_set = set(self.ancestors[change_id])
+        for key in self._builds_by_change.get(change_id, ()):
+            build = self.builds.get(key)
+            if build is None or not build.done or build.aborted:
+                continue
+            if key.assumed & frozenset(ancestor_set) != decisive.assumed:
+                continue
+            extras = key.assumed - frozenset(ancestor_set)
+            if all(self.decided.get(extra, False) for extra in extras):
+                return build
+        return None
+
+    def _decide_ready(self, now: float) -> List[Decision]:
+        """Commit/reject every change whose decisive build has finished."""
+        decisions: List[Decision] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for change in self.queue.in_order():
+                key = self._decisive_key(change.change_id)
+                if key is None:
+                    continue
+                build = self._usable_build(change.change_id, key)
+                if build is None:
+                    continue
+                decision = Decision(
+                    change_id=change.change_id,
+                    committed=build.execution.success,
+                    at=now,
+                    reason=build.execution.failure_reason
+                    if not build.execution.success
+                    else "decisive build passed",
+                )
+                self._apply_decision(decision)
+                decisions.append(decision)
+                progressed = True
+        return decisions
+
+    def _apply_decision(self, decision: Decision) -> None:
+        change_id = decision.change_id
+        record = self.records[change_id]
+        if record.state.is_terminal:
+            return
+        if decision.committed:
+            record.mark_committed(decision.at, decision.reason or "committed")
+        else:
+            record.mark_rejected(decision.at, decision.reason or "rejected")
+        self.decided[change_id] = decision.committed
+        self.queue.remove(change_id)
+        self.conflict_graph.remove(change_id)
+        self._decision_log.append(decision)
+        change = self.all_changes[change_id]
+        commit_hook = getattr(self.controller, "on_commit", None)
+        if decision.committed and commit_hook is not None:
+            commit_hook(change, self.all_changes)
+        observe = getattr(self.strategy, "on_decision", None)
+        if observe is not None:
+            observe(change, decision, self._view)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def view(self) -> PlannerView:
+        return self._view
+
+    def decisions(self) -> List[Decision]:
+        return list(self._decision_log)
+
+    def pending_count(self) -> int:
+        return len(self.queue)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """What one :meth:`PlannerEngine.plan` call did."""
+
+    started: List[ScheduledBuild]
+    aborted: List[BuildKey]

@@ -1,0 +1,94 @@
+"""The worker pool.
+
+Models the build fleet (Mac Minis in the paper's setup): a fixed number of
+slots, each able to run one speculative build at a time.  Assignment is
+load-balanced by cumulative busy time, the simulation-level analogue of
+the paper's history-based load balancing (section 6), and utilization is
+tracked for the throughput benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import NoWorkerAvailableError
+from repro.types import BuildKey
+
+
+@dataclass
+class _Worker:
+    """One worker slot with its accounting."""
+
+    index: int
+    busy_with: Optional[BuildKey] = None
+    busy_since: float = 0.0
+    total_busy: float = 0.0
+    builds_run: int = 0
+
+
+class WorkerPool:
+    """Fixed-capacity pool with least-loaded assignment."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("worker capacity must be positive")
+        self._workers: List[_Worker] = [_Worker(i) for i in range(capacity)]
+        self._by_build: Dict[BuildKey, _Worker] = {}
+
+    @property
+    def capacity(self) -> int:
+        return len(self._workers)
+
+    @property
+    def busy(self) -> int:
+        return len(self._by_build)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.busy
+
+    def is_running(self, key: BuildKey) -> bool:
+        return key in self._by_build
+
+    def running_builds(self) -> List[BuildKey]:
+        return list(self._by_build)
+
+    def assign(self, key: BuildKey, now: float) -> int:
+        """Assign a build to the least-loaded free worker; returns its index."""
+        if key in self._by_build:
+            raise ValueError(f"build {key.label()} already running")
+        candidates = [w for w in self._workers if w.busy_with is None]
+        if not candidates:
+            raise NoWorkerAvailableError(key.label())
+        worker = min(candidates, key=lambda w: (w.total_busy, w.index))
+        worker.busy_with = key
+        worker.busy_since = now
+        worker.builds_run += 1
+        self._by_build[key] = worker
+        return worker.index
+
+    def release(self, key: BuildKey, now: float) -> int:
+        """Release the worker running ``key``; returns its index."""
+        worker = self._by_build.pop(key, None)
+        if worker is None:
+            raise KeyError(f"build {key.label()} not running")
+        worker.total_busy += max(0.0, now - worker.busy_since)
+        worker.busy_with = None
+        return worker.index
+
+    def utilization(self, now: float) -> float:
+        """Fraction of wall-clock×capacity spent busy, up to ``now``."""
+        if now <= 0.0:
+            return 0.0
+        total = 0.0
+        for worker in self._workers:
+            total += worker.total_busy
+            if worker.busy_with is not None:
+                total += max(0.0, now - worker.busy_since)
+        return total / (now * self.capacity)
+
+    def load_imbalance(self) -> float:
+        """Max-minus-min cumulative busy time across workers."""
+        totals = [w.total_busy for w in self._workers]
+        return max(totals) - min(totals) if totals else 0.0

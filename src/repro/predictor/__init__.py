@@ -1,0 +1,52 @@
+"""Outcome prediction (paper sections 4.2 and 7.2).
+
+SubmitQueue steers speculation with two learned quantities:
+
+* ``P_succ(C)`` — probability a change's build steps pass when applied
+  alone on a healthy HEAD;
+* ``P_conf(Ci, Cj)`` — probability two changes *really* conflict (pass
+  individually, fail together).
+
+Both are logistic-regression models over handpicked change / revision /
+developer / speculation-history features.  This package implements the
+model (on numpy, no scikit dependency), the feature extraction, the
+training pipeline with recursive feature elimination, and the predictor
+interfaces the speculation engine consumes — including the Oracle used to
+normalize every evaluation result.
+"""
+
+from repro.predictor.logistic import LogisticRegression
+from repro.predictor.features import (
+    CONFLICT_FEATURES,
+    SUCCESS_FEATURES,
+    FeatureExtractor,
+)
+from repro.predictor.predictors import (
+    LearnedPredictor,
+    OraclePredictor,
+    Predictor,
+    StaticPredictor,
+)
+from repro.predictor.training import (
+    TrainingReport,
+    evaluate_classifier,
+    recursive_feature_elimination,
+    train_models,
+    train_test_split,
+)
+
+__all__ = [
+    "CONFLICT_FEATURES",
+    "FeatureExtractor",
+    "LearnedPredictor",
+    "LogisticRegression",
+    "OraclePredictor",
+    "Predictor",
+    "StaticPredictor",
+    "SUCCESS_FEATURES",
+    "TrainingReport",
+    "evaluate_classifier",
+    "recursive_feature_elimination",
+    "train_models",
+    "train_test_split",
+]

@@ -1,0 +1,135 @@
+"""Predictor interfaces consumed by the speculation engine.
+
+A predictor answers two questions (section 4.2):
+
+* :meth:`Predictor.p_success` — probability that a change's build steps
+  pass when applied alone on a healthy HEAD;
+* :meth:`Predictor.p_conflict` — probability that two changes *really*
+  conflict (pass individually, fail combined).
+
+Implementations:
+
+* :class:`OraclePredictor` — reads ground truth; this is the paper's
+  Oracle that "can perfectly predict the outcome of a change" and anchors
+  every normalized result.
+* :class:`StaticPredictor` — fixed probabilities; with 0.5 it reproduces
+  the Speculate-all assumption, with 1.0 the Optimistic one.
+* :class:`LearnedPredictor` — the SubmitQueue configuration: two logistic
+  models over extracted features, refreshed with dynamic speculation
+  counts each epoch.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.changes.change import Change
+from repro.changes.state import ChangeRecord
+from repro.changes.truth import real_conflict
+from repro.predictor.features import FeatureExtractor
+from repro.predictor.logistic import LogisticRegression
+
+
+def _clamp(p: float) -> float:
+    return min(1.0, max(0.0, p))
+
+
+class Predictor(abc.ABC):
+    """Interface between prediction models and the speculation engine."""
+
+    @abc.abstractmethod
+    def p_success(
+        self, change: Change, record: Optional[ChangeRecord] = None
+    ) -> float:
+        """P(all build steps pass for the change alone on a green HEAD)."""
+
+    @abc.abstractmethod
+    def p_conflict(self, first: Change, second: Change) -> float:
+        """P(the two changes really conflict)."""
+
+
+class OraclePredictor(Predictor):
+    """Perfect foresight from ground-truth labels."""
+
+    def p_success(self, change: Change, record: Optional[ChangeRecord] = None) -> float:
+        if change.ground_truth is None:
+            raise ValueError(f"oracle needs ground truth on {change.change_id}")
+        return 1.0 if change.ground_truth.individually_ok else 0.0
+
+    def p_conflict(self, first: Change, second: Change) -> float:
+        return 1.0 if real_conflict(first, second) else 0.0
+
+
+class StaticPredictor(Predictor):
+    """Fixed probabilities; the degenerate baselines use this."""
+
+    def __init__(self, success: float = 0.5, conflict: float = 0.5) -> None:
+        if not 0.0 <= success <= 1.0 or not 0.0 <= conflict <= 1.0:
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._success = success
+        self._conflict = conflict
+
+    def p_success(self, change: Change, record: Optional[ChangeRecord] = None) -> float:
+        return self._success
+
+    def p_conflict(self, first: Change, second: Change) -> float:
+        return self._conflict
+
+
+class LearnedPredictor(Predictor):
+    """Logistic-regression predictor over extracted features."""
+
+    def __init__(
+        self,
+        success_model: LogisticRegression,
+        conflict_model: LogisticRegression,
+        extractor: Optional[FeatureExtractor] = None,
+    ) -> None:
+        self._success_model = success_model
+        self._conflict_model = conflict_model
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        # Planner epochs re-ask the same probabilities thousands of times;
+        # cache per (change, dynamic counters) and per pair.  Caches are
+        # invalidated by the feedback hooks (developer history moved).
+        self._success_cache: dict = {}
+        self._conflict_cache: dict = {}
+
+    def p_success(self, change: Change, record: Optional[ChangeRecord] = None) -> float:
+        key = (
+            change.change_id,
+            record.speculations_succeeded if record else 0,
+            record.speculations_failed if record else 0,
+        )
+        cached = self._success_cache.get(key)
+        if cached is None:
+            vector = self.extractor.success_vector(change, record)
+            cached = _clamp(self._success_model.predict_one(vector))
+            self._success_cache[key] = cached
+        return cached
+
+    def p_conflict(self, first: Change, second: Change) -> float:
+        key = (
+            (first.change_id, second.change_id)
+            if first.change_id <= second.change_id
+            else (second.change_id, first.change_id)
+        )
+        cached = self._conflict_cache.get(key)
+        if cached is None:
+            vector = self.extractor.conflict_vector(first, second)
+            cached = _clamp(self._conflict_model.predict_one(vector))
+            self._conflict_cache[key] = cached
+        return cached
+
+    # Feedback hooks: the planner calls these as changes decide so the
+    # running developer statistics stay current.  Cached probabilities for
+    # *already-asked* (change, counters) keys are kept — history feedback
+    # affects changes submitted later (fresh ids, fresh cache keys), while
+    # a pending change's probability still refreshes whenever its dynamic
+    # speculation counters move, which is the feedback loop section 7.2
+    # singles out as most predictive.
+    def observe_outcome(self, change: Change, committed: bool) -> None:
+        self.extractor.observe_outcome(change, committed)
+
+    def observe_conflict(self, first: Change, second: Change, conflicted: bool) -> None:
+        self.extractor.observe_conflict(first, second, conflicted)

@@ -1,0 +1,21 @@
+"""The SubmitQueue service facade (paper section 7.1).
+
+Mirrors the production API service: land a change, query its state, and
+watch the queue — a thin, stateless layer over the core service wiring.
+"""
+
+from repro.service.api import ChangeStatus, SubmitQueueService
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.service.handlers import ApiHandlers, render_status_page
+from repro.service.storage import PersistentLedgerMirror, SubmitQueueStore
+
+__all__ = [
+    "ApiHandlers",
+    "ChangeStatus",
+    "CoreService",
+    "CoreServiceConfig",
+    "PersistentLedgerMirror",
+    "SubmitQueueService",
+    "SubmitQueueStore",
+    "render_status_page",
+]

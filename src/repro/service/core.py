@@ -1,0 +1,144 @@
+"""Core-service wiring: an incremental, driveable SubmitQueue instance.
+
+Unlike :class:`~repro.sim.simulator.Simulation` (which consumes a complete
+pre-timed stream), the core service accepts submissions interactively —
+the shape a production deployment has.  Internally it advances a
+simulated clock over build-completion events; :meth:`pump` drains work
+until the queue is idle.
+
+The default configuration is full-stack: real repository, real build
+graphs, real step execution, so committed patches actually land on the
+mainline and the mainline is verifiably green after every pump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.changes.change import Change
+from repro.conflict.analyzer import ConflictAnalyzer
+from repro.errors import SimulationError
+from repro.planner.controller import BuildController, FullStackBuildController
+from repro.planner.planner import Decision, PlannerEngine
+from repro.planner.workers import WorkerPool
+from repro.sim.clock import Clock
+from repro.sim.events import EventHandle, EventQueue
+from repro.strategies.base import Strategy
+from repro.types import BuildKey
+from repro.vcs.repository import Repository
+
+
+@dataclass
+class CoreServiceConfig:
+    """Deployment-ish knobs for a core-service instance."""
+
+    workers: int = 8
+    max_pump_minutes: float = 60.0 * 24 * 30
+    #: Rebuild the conflict analyzer after every mainline commit (the
+    #: analyzer is pinned to a HEAD snapshot).
+    refresh_analyzer_on_commit: bool = True
+
+
+class CoreService:
+    """SubmitQueue's core service over a real repository."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        strategy: Strategy,
+        config: CoreServiceConfig = CoreServiceConfig(),
+        controller: Optional[BuildController] = None,
+        store=None,
+    ) -> None:
+        """``store``: an optional
+        :class:`~repro.service.storage.SubmitQueueStore`; submissions and
+        decisions are mirrored into it (the MySQL role of section 7.1)."""
+        self.repo = repo
+        self.config = config
+        self._store_mirror = None
+        if store is not None:
+            from repro.service.storage import PersistentLedgerMirror
+
+            self._store_mirror = PersistentLedgerMirror(store)
+        self.controller = (
+            controller if controller is not None else FullStackBuildController(repo)
+        )
+        self._analyzer = ConflictAnalyzer(repo.snapshot().to_dict())
+        self.planner = PlannerEngine(
+            strategy=strategy,
+            controller=self.controller,
+            workers=WorkerPool(config.workers),
+            conflict_predicate=self._conflict_predicate,
+        )
+        self.clock = Clock()
+        self._events = EventQueue()
+        self._completion_handles: Dict[BuildKey, EventHandle] = {}
+        self._head_at_analyzer = repo.head()
+
+    # -- conflict analysis ----------------------------------------------------
+
+    def _conflict_predicate(self, first: Change, second: Change) -> bool:
+        self._maybe_refresh_analyzer()
+        return self._analyzer.conflict(first, second)
+
+    def _maybe_refresh_analyzer(self) -> None:
+        if (
+            self.config.refresh_analyzer_on_commit
+            and self.repo.head() != self._head_at_analyzer
+        ):
+            self._analyzer = ConflictAnalyzer(self.repo.snapshot().to_dict())
+            self._head_at_analyzer = self.repo.head()
+
+    @property
+    def analyzer(self) -> ConflictAnalyzer:
+        return self._analyzer
+
+    # -- operation ----------------------------------------------------------
+
+    def submit(self, change: Change) -> None:
+        """Enqueue a change at the current service time."""
+        self.planner.submit(change, self.clock.now)
+        if self._store_mirror is not None:
+            self._store_mirror.on_submit(change, self.clock.now)
+        self._replan()
+
+    def pump(self) -> List[Decision]:
+        """Advance time until every submitted change is decided."""
+        decisions: List[Decision] = []
+        guard = self.clock.now + self.config.max_pump_minutes
+        while self._events or self.planner.pending_count() > 0:
+            handle = self._events.pop()
+            if handle is None:
+                # No events but changes pending: replan (the stall guard in
+                # the planner will start the head's decisive build).
+                self._replan()
+                if not self._events:
+                    raise SimulationError(
+                        "core service stalled with pending changes"
+                    )
+                continue
+            self.clock.advance_to(handle.time)
+            if self.clock.now > guard:
+                raise SimulationError("pump exceeded max_pump_minutes")
+            key = handle.payload
+            self._completion_handles.pop(key, None)
+            new_decisions = self.planner.complete(key, self.clock.now)
+            if self._store_mirror is not None:
+                for decision in new_decisions:
+                    self._store_mirror.on_decision(decision)
+            decisions.extend(new_decisions)
+            self._replan()
+        return decisions
+
+    def _replan(self) -> None:
+        result = self.planner.plan(self.clock.now)
+        for key in result.aborted:
+            pending = self._completion_handles.pop(key, None)
+            if pending is not None:
+                self._events.cancel(pending)
+        for scheduled in result.started:
+            handle = self._events.push(
+                self.clock.now + scheduled.duration, scheduled.key
+            )
+            self._completion_handles[scheduled.key] = handle

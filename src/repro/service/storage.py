@@ -1,0 +1,243 @@
+"""Durable storage for SubmitQueue state (the paper's MySQL substitute).
+
+The production system keeps queue and decision state in MySQL
+(section 7.1); this module provides the same durability on sqlite3 from
+the standard library: an append-only record of submissions, decisions,
+and build executions, plus enough state to warm-start a ledger after a
+restart.
+
+Schema (one row per event; ids are the natural keys):
+
+* ``changes``   — submission metadata and current state;
+* ``decisions`` — terminal verdicts with timestamps and reasons;
+* ``builds``    — every build execution with its key, outcome, duration.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.changes.change import Change
+from repro.changes.state import ChangeLedger, ChangeRecord
+from repro.planner.planner import Decision
+from repro.types import BuildKey, ChangeId, ChangeState
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS changes (
+    change_id    TEXT PRIMARY KEY,
+    revision_id  TEXT NOT NULL,
+    developer_id TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    description  TEXT NOT NULL DEFAULT '',
+    features     TEXT NOT NULL DEFAULT '{}',
+    state        TEXT NOT NULL DEFAULT 'pending'
+);
+CREATE TABLE IF NOT EXISTS decisions (
+    change_id  TEXT PRIMARY KEY REFERENCES changes(change_id),
+    committed  INTEGER NOT NULL,
+    decided_at REAL NOT NULL,
+    reason     TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS builds (
+    build_key  TEXT PRIMARY KEY,
+    change_id  TEXT NOT NULL,
+    assumed    TEXT NOT NULL,
+    success    INTEGER,
+    duration   REAL,
+    started_at REAL NOT NULL,
+    aborted    INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+def _encode_key(key: BuildKey) -> str:
+    return json.dumps({"change": key.change_id, "assumed": sorted(key.assumed)})
+
+
+def _decode_key(blob: str) -> BuildKey:
+    payload = json.loads(blob)
+    return BuildKey(payload["change"], frozenset(payload["assumed"]))
+
+
+@dataclass(frozen=True)
+class StoredDecision:
+    """One persisted verdict."""
+
+    change_id: ChangeId
+    committed: bool
+    decided_at: float
+    reason: str
+
+
+class SubmitQueueStore:
+    """SQLite-backed persistence for queue state.
+
+    Pass ``":memory:"`` (the default) for tests; a path for durability.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SubmitQueueStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def record_submission(self, change: Change, at: float) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO changes"
+            " (change_id, revision_id, developer_id, submitted_at,"
+            "  description, features, state)"
+            " VALUES (?, ?, ?, ?, ?, ?, 'pending')",
+            (
+                change.change_id,
+                change.revision_id,
+                change.developer_id,
+                at,
+                change.description,
+                json.dumps(change.features),
+            ),
+        )
+        self._conn.commit()
+
+    def record_decision(self, decision: Decision) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO decisions"
+            " (change_id, committed, decided_at, reason) VALUES (?, ?, ?, ?)",
+            (
+                decision.change_id,
+                1 if decision.committed else 0,
+                decision.at,
+                decision.reason,
+            ),
+        )
+        self._conn.execute(
+            "UPDATE changes SET state = ? WHERE change_id = ?",
+            (
+                ChangeState.COMMITTED.value
+                if decision.committed
+                else ChangeState.REJECTED.value,
+                decision.change_id,
+            ),
+        )
+        self._conn.commit()
+
+    def record_build(
+        self,
+        key: BuildKey,
+        started_at: float,
+        success: Optional[bool] = None,
+        duration: Optional[float] = None,
+        aborted: bool = False,
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO builds"
+            " (build_key, change_id, assumed, success, duration, started_at,"
+            "  aborted) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                _encode_key(key),
+                key.change_id,
+                json.dumps(sorted(key.assumed)),
+                None if success is None else int(success),
+                duration,
+                started_at,
+                int(aborted),
+            ),
+        )
+        self._conn.commit()
+
+    # -- reads --------------------------------------------------------------
+
+    def state_of(self, change_id: ChangeId) -> Optional[ChangeState]:
+        row = self._conn.execute(
+            "SELECT state FROM changes WHERE change_id = ?", (change_id,)
+        ).fetchone()
+        return None if row is None else ChangeState(row[0])
+
+    def pending_ids(self) -> List[ChangeId]:
+        rows = self._conn.execute(
+            "SELECT change_id FROM changes WHERE state = 'pending'"
+            " ORDER BY submitted_at, change_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def decisions(self) -> List[StoredDecision]:
+        rows = self._conn.execute(
+            "SELECT change_id, committed, decided_at, reason FROM decisions"
+            " ORDER BY decided_at, change_id"
+        ).fetchall()
+        return [
+            StoredDecision(cid, bool(committed), decided_at, reason)
+            for cid, committed, decided_at, reason in rows
+        ]
+
+    def builds_for(self, change_id: ChangeId) -> List[Tuple[BuildKey, Optional[bool]]]:
+        rows = self._conn.execute(
+            "SELECT build_key, success FROM builds WHERE change_id = ?"
+            " ORDER BY started_at",
+            (change_id,),
+        ).fetchall()
+        return [
+            (_decode_key(blob), None if success is None else bool(success))
+            for blob, success in rows
+        ]
+
+    def throughput_per_hour(self) -> float:
+        """Committed decisions per hour over the recorded horizon."""
+        row = self._conn.execute(
+            "SELECT COUNT(*), MIN(decided_at), MAX(decided_at) FROM decisions"
+            " WHERE committed = 1"
+        ).fetchone()
+        count, first, last = row
+        if not count or last is None or last <= first:
+            return 0.0
+        return count / ((last - first) / 60.0)
+
+
+class PersistentLedgerMirror:
+    """Keeps a :class:`SubmitQueueStore` in sync with planner activity.
+
+    Attach it by wrapping the planner's submit/decision flow (the core
+    service does this when configured with a store); after a restart,
+    :meth:`warm_start` reconstructs a ledger of decided history so the
+    feature extractor's developer statistics survive.
+    """
+
+    def __init__(self, store: SubmitQueueStore) -> None:
+        self.store = store
+
+    def on_submit(self, change: Change, at: float) -> None:
+        self.store.record_submission(change, at)
+
+    def on_decision(self, decision: Decision) -> None:
+        self.store.record_decision(decision)
+
+    def warm_start(self, changes_by_id: Dict[ChangeId, Change]) -> ChangeLedger:
+        """Rebuild a decided-history ledger from storage.
+
+        ``changes_by_id`` supplies the change objects (storage keeps only
+        metadata); unknown ids are skipped.
+        """
+        ledger = ChangeLedger()
+        decided = {d.change_id: d for d in self.store.decisions()}
+        for change_id, decision in decided.items():
+            change = changes_by_id.get(change_id)
+            if change is None:
+                continue
+            record = ledger.register(change, at=change.submitted_at)
+            if decision.committed:
+                record.mark_committed(decision.decided_at, decision.reason)
+            else:
+                record.mark_rejected(decision.decided_at, decision.reason)
+        return ledger

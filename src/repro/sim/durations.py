@@ -1,0 +1,66 @@
+"""Build-duration distributions shaped like the paper's Figure 9.
+
+Figure 9 plots the build-duration CDF for the iOS and Android monorepos:
+a median around half an hour with a tail reaching ~120 minutes, and
+near-identical shapes for both platforms.  A clipped log-normal matches
+that shape; the platform presets below pin the median and P90.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BuildDurationModel:
+    """Clipped log-normal build durations, in minutes."""
+
+    median: float = 27.0
+    p90: float = 60.0
+    minimum: float = 4.0
+    maximum: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.median < self.p90:
+            raise ValueError("need 0 < median < p90")
+        if not 0 < self.minimum < self.maximum:
+            raise ValueError("need 0 < minimum < maximum")
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median)
+
+    @property
+    def sigma(self) -> float:
+        # P90 of lognormal: exp(mu + 1.2816 sigma).
+        return math.log(self.p90 / self.median) / 1.2815515655446004
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one duration (or ``size`` of them), clipped to the range."""
+        draws = rng.lognormal(self.mu, self.sigma, size=size)
+        return np.clip(draws, self.minimum, self.maximum) if size is not None else float(
+            min(self.maximum, max(self.minimum, draws))
+        )
+
+    def cdf(self, minutes: float) -> float:
+        """P(duration <= minutes) of the *unclipped* log-normal core."""
+        if minutes <= self.minimum:
+            return 0.0
+        if minutes >= self.maximum:
+            return 1.0
+        z = (math.log(minutes) - self.mu) / self.sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def cdf_series(self, grid: Sequence[float]) -> List[float]:
+        """CDF evaluated on a grid, for the Figure 9 reproduction."""
+        return [self.cdf(x) for x in grid]
+
+
+#: Platform presets: the two monorepos in Figure 9 have near-identical
+#: CDFs; Android's is very slightly faster.
+IOS_DURATIONS = BuildDurationModel(median=28.0, p90=62.0)
+ANDROID_DURATIONS = BuildDurationModel(median=26.0, p90=58.0)

@@ -1,0 +1,183 @@
+"""The speculation engine: global best-first build selection.
+
+Every epoch the planner asks for the ``budget`` most valuable builds
+across all pending changes (section 3.2).  The engine:
+
+1. estimates ``P_commit`` for every pending change (Equations 1–5, with
+   decided changes contributing certainty);
+2. creates one lazy :class:`~repro.speculation.tree.SubsetEnumerator` per
+   pending change — each yields that change's builds in decreasing value;
+3. merges the enumerators with a max-heap, popping globally best builds
+   until the budget is filled or values vanish.
+
+Memory stays O(pending changes + budget): only one frontier node per
+enumerator lives in the merge heap (the greedy best-first property called
+out in section 7.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.changes.change import Change
+from repro.changes.state import ChangeRecord
+from repro.predictor.predictors import Predictor
+from repro.speculation.probability import (
+    conditional_success,
+    estimate_commit_probabilities,
+)
+from repro.speculation.tree import SpeculationNode, SubsetEnumerator
+from repro.types import BuildKey, ChangeId
+
+#: Benefit assigned to a build; the paper uses 1 for all builds but allows
+#: priorities (security patches, team quotas) — callers may override.
+BenefitFunction = Callable[[Change], float]
+
+
+@dataclass(frozen=True)
+class ScoredBuild:
+    """A selected build with the metrics that justified it."""
+
+    key: BuildKey
+    value: float
+    p_needed: float
+    conditional_success: float
+
+    @property
+    def change_id(self) -> ChangeId:
+        return self.key.change_id
+
+
+class SpeculationEngine:
+    """Selects the most valuable speculative builds under a budget."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        benefit: Optional[BenefitFunction] = None,
+        min_value: float = 1e-9,
+    ) -> None:
+        self._predictor = predictor
+        self._benefit = benefit if benefit is not None else (lambda change: 1.0)
+        self._min_value = min_value
+
+    # -- probability plumbing ------------------------------------------------
+
+    def commit_probabilities(
+        self,
+        pending: Sequence[Change],
+        ancestors: Mapping[ChangeId, Sequence[ChangeId]],
+        records: Mapping[ChangeId, ChangeRecord],
+        decided: Mapping[ChangeId, bool],
+        changes_by_id: Mapping[ChangeId, Change],
+    ) -> Dict[ChangeId, float]:
+        """``P_commit`` for every pending change (decided ones are 0/1)."""
+
+        def p_success(change_id: ChangeId) -> float:
+            change = changes_by_id[change_id]
+            return self._predictor.p_success(change, records.get(change_id))
+
+        def p_conflict(first_id: ChangeId, second_id: ChangeId) -> float:
+            return self._predictor.p_conflict(
+                changes_by_id[first_id], changes_by_id[second_id]
+            )
+
+        order = [change.change_id for change in pending]
+        return estimate_commit_probabilities(
+            order, ancestors, p_success, p_conflict, decided
+        )
+
+    # -- selection ----------------------------------------------------------
+
+    def select_builds(
+        self,
+        pending: Sequence[Change],
+        ancestors: Mapping[ChangeId, Sequence[ChangeId]],
+        records: Mapping[ChangeId, ChangeRecord],
+        decided: Mapping[ChangeId, bool],
+        budget: int,
+        changes_by_id: Optional[Mapping[ChangeId, Change]] = None,
+    ) -> List[ScoredBuild]:
+        """The top-``budget`` builds by value, best first.
+
+        ``pending`` must be in submission order.  ``ancestors`` maps each
+        pending change to *all* its conflicting predecessors (pending or
+        decided, in submission order); ``decided`` maps decided change ids
+        to whether they committed.  ``changes_by_id`` must cover pending
+        changes *and* decided ancestors; it defaults to the pending set,
+        which suffices only when nothing has been decided yet.
+        """
+        if budget <= 0:
+            return []
+        if changes_by_id is None:
+            changes_by_id = {change.change_id: change for change in pending}
+        commit_probabilities = self.commit_probabilities(
+            pending, ancestors, records, decided, changes_by_id
+        )
+
+        # One lazy enumerator per pending change; merge via a max-heap of
+        # (negated value, tiebreak, change id).  ``tiebreak`` prefers
+        # earlier-submitted changes so equal-value builds respect queue
+        # order (Speculate-all degenerates to breadth-first this way).
+        enumerators: Dict[ChangeId, SubsetEnumerator] = {}
+        merge_heap: List = []
+        for position, change in enumerate(pending):
+            change_id = change.change_id
+            all_ancestors = list(ancestors.get(change_id, ()))
+            pending_ancestors = [a for a in all_ancestors if a not in decided]
+            known_committed = frozenset(
+                a for a in all_ancestors if decided.get(a, False)
+            )
+            enumerator = SubsetEnumerator(
+                change_id,
+                pending_ancestors,
+                commit_probabilities,
+                known_committed=known_committed,
+                benefit=self._benefit(change),
+            )
+            enumerators[change_id] = enumerator
+            self._push_next(merge_heap, enumerator, position, change_id)
+
+        selected: List[ScoredBuild] = []
+        while merge_heap and len(selected) < budget:
+            neg_value, position, change_id, node = heapq.heappop(merge_heap)
+            if -neg_value < self._min_value:
+                # The k-way merge pops values in non-increasing order, so
+                # everything left is worthless too: stop, do not exhaust
+                # the exponential enumerators.
+                break
+            self._push_next(merge_heap, enumerators[change_id], position, change_id)
+            selected.append(self._score(node, changes_by_id, ancestors, records, decided))
+        return selected
+
+    def _push_next(self, heap, enumerator, position: int, change_id: ChangeId) -> None:
+        node = next(enumerator, None)
+        if node is not None:
+            heapq.heappush(heap, (-node.value, position, change_id, node))
+
+    def _score(
+        self,
+        node: SpeculationNode,
+        changes_by_id: Mapping[ChangeId, Change],
+        ancestors: Mapping[ChangeId, Sequence[ChangeId]],
+        records: Mapping[ChangeId, ChangeRecord],
+        decided: Mapping[ChangeId, bool],
+    ) -> ScoredBuild:
+        change = changes_by_id[node.change_id]
+        stacked = [
+            changes_by_id[a]
+            for a in ancestors.get(node.change_id, ())
+            if a in node.key.assumed and a in changes_by_id and a not in decided
+        ]
+        conditional = conditional_success(
+            self._predictor.p_success(change, records.get(node.change_id)),
+            (self._predictor.p_conflict(other, change) for other in stacked),
+        )
+        return ScoredBuild(
+            key=node.key,
+            value=node.value,
+            p_needed=node.p_needed,
+            conditional_success=conditional,
+        )

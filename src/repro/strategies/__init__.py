@@ -1,0 +1,43 @@
+"""Scheduling strategies: SubmitQueue and every baseline from section 8.
+
+Each strategy answers one question every epoch: *which builds are worth a
+worker right now?*  All of them run on the shared
+:class:`~repro.planner.planner.PlannerEngine`, so measured differences
+come from the selection policy alone — exactly how the paper's evaluation
+compares them.
+
+* :class:`SubmitQueueStrategy` — probabilistic speculation (learned or
+  supplied predictor) over the conflict-trimmed speculation graph.
+* :class:`OracleStrategy` — perfect foresight; schedules exactly the n
+  decisive builds.  Normalization baseline.
+* :class:`SpeculateAllStrategy` — assumes every outcome is a coin flip and
+  fans out over the whole speculation graph (section 4.1).
+* :class:`OptimisticStrategy` — Zuul-style: assume every pending
+  predecessor succeeds; abort and restack on failure.
+* :class:`SingleQueueStrategy` — Bors-style: one decisive build at a time
+  per conflict component; independent components run in parallel.
+* :class:`BatchStrategy` — Chromium commit-queue-style batches with
+  bisection on failure.
+"""
+
+from repro.strategies.base import Strategy
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.strategies.oracle import OracleStrategy
+from repro.strategies.speculate_all import SpeculateAllStrategy
+from repro.strategies.optimistic import OptimisticStrategy
+from repro.strategies.single_queue import SingleQueueStrategy
+from repro.strategies.batch import BatchStrategy
+from repro.strategies.independent_batch import IndependentBatchStrategy
+from repro.strategies.reordering import ReorderingSubmitQueueStrategy
+
+__all__ = [
+    "BatchStrategy",
+    "IndependentBatchStrategy",
+    "ReorderingSubmitQueueStrategy",
+    "OptimisticStrategy",
+    "OracleStrategy",
+    "SingleQueueStrategy",
+    "SpeculateAllStrategy",
+    "Strategy",
+    "SubmitQueueStrategy",
+]

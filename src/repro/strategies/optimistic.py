@@ -1,0 +1,66 @@
+"""Optimistic execution à la Zuul (section 2.2).
+
+"A pending change starts performing its build steps assuming that all the
+pending changes that were submitted before it will succeed.  If a change
+fails, then the builds that speculated on the success of the failed
+change need to be aborted, and start again with new optimistic
+speculation."
+
+Note the *all*: Zuul's gate pipeline has no conflict analyzer, so every
+change stacks on every pending change ahead of it, and one rejection
+restarts the entire tail of the pipeline — which is why the paper finds
+its throughput "limited by the number of contiguous changes that succeed"
+(section 8.3) and why the conflict analyzer only buys it ~20 %
+(section 8.4).
+
+Each change's *ahead set* is frozen at submission.  Its build assumes
+every ahead change that has not been rejected; commits ahead therefore do
+not disturb the key (the stacked patch is simply part of HEAD now), while
+a rejection ahead changes the key and the planner aborts and restacks —
+the Zuul restart cascade.  Once everything ahead is decided the assumed
+set contains only committed changes, and the planner's equivalent-build
+rule turns the result into the change's decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.changes.change import Change
+from repro.planner.planner import Decision, PlannerView
+from repro.strategies.base import Strategy
+from repro.types import BuildKey, ChangeId
+
+
+class OptimisticStrategy(Strategy):
+    """One all-success chain over the whole pending queue."""
+
+    name = "Optimistic"
+
+    def __init__(self) -> None:
+        #: Pending changes ahead of each change, frozen at submission.
+        self._ahead: Dict[ChangeId, FrozenSet[ChangeId]] = {}
+
+    def on_submit(self, change: Change, view: PlannerView) -> None:
+        self._ahead[change.change_id] = frozenset(
+            other.change_id
+            for other in view.pending
+            if other.change_id != change.change_id
+        )
+
+    def on_decision(self, change: Change, decision: Decision,
+                    view: PlannerView) -> None:
+        self._ahead.pop(change.change_id, None)
+
+    def select(self, view: PlannerView, budget: int) -> List[BuildKey]:
+        decided = view.decided
+        selected: List[BuildKey] = []
+        for change in view.pending:
+            if len(selected) >= budget:
+                break
+            ahead = self._ahead.get(change.change_id, frozenset())
+            assumed = frozenset(
+                a for a in ahead if decided.get(a, True)  # drop rejected only
+            )
+            selected.append(BuildKey(change.change_id, assumed))
+        return selected

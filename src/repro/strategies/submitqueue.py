@@ -1,0 +1,51 @@
+"""SubmitQueue: probabilistic speculation with conflict trimming.
+
+The paper's system: every epoch, rank all candidate builds by value
+(Equations 1–5 over predictor probabilities) and run the top ``budget``.
+The conflict graph has already trimmed each change's speculation space to
+its conflicting ancestors, so independent changes cost one build each and
+commit in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.changes.change import Change
+from repro.planner.planner import Decision, PlannerView
+from repro.predictor.predictors import LearnedPredictor, Predictor
+from repro.speculation.engine import BenefitFunction, SpeculationEngine
+from repro.strategies.base import Strategy
+from repro.types import BuildKey
+
+
+class SubmitQueueStrategy(Strategy):
+    """Value-ordered speculative selection driven by a predictor."""
+
+    name = "SubmitQueue"
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        benefit: Optional[BenefitFunction] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.engine = SpeculationEngine(predictor, benefit=benefit)
+
+    def select(self, view: PlannerView, budget: int) -> List[BuildKey]:
+        scored = self.engine.select_builds(
+            pending=view.pending,
+            ancestors=view.ancestors,
+            records=view.records,
+            decided=view.decided,
+            budget=budget,
+            changes_by_id=view.changes_by_id,
+        )
+        return [build.key for build in scored]
+
+    def on_decision(self, change: Change, decision: Decision,
+                    view: PlannerView) -> None:
+        # Keep the learned predictor's developer history current; static
+        # and oracle predictors have no feedback surface.
+        if isinstance(self.predictor, LearnedPredictor):
+            self.predictor.observe_outcome(change, decision.committed)

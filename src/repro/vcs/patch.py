@@ -1,0 +1,235 @@
+"""Patches: the unit of code modification carried by a change.
+
+A :class:`Patch` is an ordered collection of file operations.  It knows how
+to apply itself to a snapshot (a ``dict`` of path to content) and how to
+detect the textual conflicts that a git-style merge would report.
+
+The model is file-granular: two patches textually conflict when they touch
+the same path in incompatible ways.  This matches the granularity at which
+the paper's conflict analyzer reasons (build targets own whole source
+files), while staying cheap enough for large simulations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import PatchConflictError
+from repro.types import Path
+
+
+class OpKind(enum.Enum):
+    """Kind of file operation inside a patch."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FileOp:
+    """One file operation.
+
+    ``base_content`` records what the author saw when editing (the content
+    at the patch's base commit); it powers three-way conflict detection.
+    ``content`` is the full post-image for ADD/MODIFY and ``None`` for
+    DELETE.
+    """
+
+    kind: OpKind
+    path: Path
+    content: Optional[str] = None
+    base_content: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.DELETE:
+            if self.content is not None:
+                raise ValueError(f"DELETE of {self.path!r} must not carry content")
+        elif self.content is None:
+            raise ValueError(f"{self.kind.value} of {self.path!r} requires content")
+
+
+class Patch:
+    """An ordered set of file operations, at most one per path."""
+
+    def __init__(self, ops: Iterable[FileOp] = ()) -> None:
+        self._ops: Dict[Path, FileOp] = {}
+        for op in ops:
+            self.add_op(op)
+
+    # -- construction -----------------------------------------------------
+
+    def add_op(self, op: FileOp) -> None:
+        """Add an operation; replacing an existing op for a path is an error."""
+        if op.path in self._ops:
+            raise ValueError(f"duplicate op for path {op.path!r}")
+        self._ops[op.path] = op
+
+    @classmethod
+    def adding(cls, files: Mapping[Path, str]) -> "Patch":
+        """Convenience constructor: a patch that adds ``files``."""
+        return cls(FileOp(OpKind.ADD, path, content) for path, content in files.items())
+
+    @classmethod
+    def modifying(cls, files: Mapping[Path, str],
+                  base: Optional[Mapping[Path, str]] = None) -> "Patch":
+        """Convenience constructor: a patch that rewrites ``files``."""
+        base = base or {}
+        return cls(
+            FileOp(OpKind.MODIFY, path, content, base_content=base.get(path))
+            for path, content in files.items()
+        )
+
+    @classmethod
+    def deleting(cls, paths: Iterable[Path]) -> "Patch":
+        """Convenience constructor: a patch that deletes ``paths``."""
+        return cls(FileOp(OpKind.DELETE, path) for path in paths)
+
+    # -- inspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[FileOp]:
+        return iter(self._ops.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def __repr__(self) -> str:
+        return f"Patch({len(self._ops)} ops on {sorted(self._ops)[:4]}...)"
+
+    @property
+    def paths(self) -> Set[Path]:
+        """All paths touched by this patch."""
+        return set(self._ops)
+
+    def op_for(self, path: Path) -> Optional[FileOp]:
+        """The operation for ``path``, or ``None``."""
+        return self._ops.get(path)
+
+    def touched_lines(self) -> int:
+        """Total number of post-image lines, a cheap size proxy for features."""
+        return sum(
+            op.content.count("\n") + 1
+            for op in self._ops.values()
+            if op.content is not None
+        )
+
+    # -- application ------------------------------------------------------
+
+    def check_applies(self, snapshot: Mapping[Path, str]) -> None:
+        """Raise :class:`PatchConflictError` if this patch cannot apply.
+
+        Rules (mirroring git's behaviour at file granularity):
+
+        * ADD conflicts when the path already exists with different content.
+        * MODIFY/DELETE conflict when the path does not exist.
+        * MODIFY conflicts when the file diverged from the recorded base
+          content (somebody else rewrote it differently in the meantime).
+        """
+        for op in self._ops.values():
+            current = snapshot.get(op.path)
+            if op.kind is OpKind.ADD:
+                if current is not None and current != op.content:
+                    raise PatchConflictError(op.path, "add of existing path")
+            elif current is None:
+                raise PatchConflictError(op.path, f"{op.kind.value} of missing path")
+            elif (
+                op.kind is OpKind.MODIFY
+                and op.base_content is not None
+                and current != op.base_content
+                and current != op.content
+            ):
+                raise PatchConflictError(op.path, "base content diverged")
+
+    def apply(self, snapshot: Mapping[Path, str]) -> Dict[Path, str]:
+        """Return a new snapshot with this patch applied.
+
+        Raises :class:`PatchConflictError` when :meth:`check_applies` would.
+        """
+        self.check_applies(snapshot)
+        result = dict(snapshot)
+        for op in self._ops.values():
+            if op.kind is OpKind.DELETE:
+                result.pop(op.path, None)
+            else:
+                assert op.content is not None
+                result[op.path] = op.content
+        return result
+
+    def delta(self) -> Dict[Path, Optional[str]]:
+        """Mapping of path to post-image (``None`` means deleted)."""
+        return {op.path: op.content for op in self._ops.values()}
+
+
+def three_way_conflicts(first: Patch, second: Patch) -> List[Tuple[Path, str]]:
+    """Paths where two patches textually conflict, with reasons.
+
+    Two patches conflict on a path when both touch it and their post-images
+    differ (identical edits merge cleanly, like git's trivial merge).
+    """
+    conflicts: List[Tuple[Path, str]] = []
+    for path in sorted(first.paths & second.paths):
+        op_a = first.op_for(path)
+        op_b = second.op_for(path)
+        assert op_a is not None and op_b is not None
+        if op_a.kind is OpKind.DELETE and op_b.kind is OpKind.DELETE:
+            continue
+        if op_a.content == op_b.content:
+            continue
+        conflicts.append((path, f"{op_a.kind.value} vs {op_b.kind.value}"))
+    return conflicts
+
+
+def _compose_ops(first: FileOp, second: FileOp) -> Optional[FileOp]:
+    """The single op equivalent to applying ``first`` then ``second``.
+
+    Returns ``None`` when the pair cancels out (a path added and then
+    deleted never existed as far as the base is concerned).
+    """
+    path = second.path
+    if first.kind is OpKind.ADD:
+        if second.kind is OpKind.DELETE:
+            return None
+        return FileOp(OpKind.ADD, path, second.content)
+    if first.kind is OpKind.DELETE:
+        if second.kind is OpKind.DELETE:
+            return first
+        # Path existed in the base, was deleted, then re-created: net MODIFY.
+        return FileOp(OpKind.MODIFY, path, second.content)
+    # first is MODIFY.
+    if second.kind is OpKind.DELETE:
+        return FileOp(OpKind.DELETE, path)
+    return FileOp(OpKind.MODIFY, path, second.content,
+                  base_content=first.base_content)
+
+
+def squash(patches: Iterable[Patch]) -> Patch:
+    """Combine patches applied in order into one equivalent patch.
+
+    Operations on the same path are *composed*, not overwritten: an ADD
+    followed by a MODIFY is still an ADD of the final content, an ADD
+    followed by a DELETE cancels out, a DELETE followed by an ADD becomes
+    a MODIFY.  Applying the squashed patch to the original base yields the
+    same snapshot as applying the sequence (assuming the sequence itself
+    applied cleanly).
+    """
+    combined: Dict[Path, FileOp] = {}
+    for patch in patches:
+        for op in patch:
+            previous = combined.get(op.path)
+            if previous is None:
+                combined[op.path] = op
+            else:
+                composed = _compose_ops(previous, op)
+                if composed is None:
+                    combined.pop(op.path, None)
+                else:
+                    combined[op.path] = composed
+    result = Patch()
+    for op in combined.values():
+        result.add_op(op)
+    return result

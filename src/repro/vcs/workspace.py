@@ -1,0 +1,95 @@
+"""Developer workspaces: mutable working copies branched off the mainline.
+
+A workspace models the developer side of the paper's Figure 3 life cycle:
+check out the mainline HEAD, edit files locally, and produce a
+:class:`~repro.vcs.patch.Patch` (with recorded base contents) to submit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.errors import UnknownFileError
+from repro.types import CommitId, Path
+from repro.vcs.patch import FileOp, OpKind, Patch
+from repro.vcs.repository import Repository
+
+
+class Workspace:
+    """A mutable working copy rooted at one repository commit."""
+
+    def __init__(self, repo: Repository, base_commit: Optional[CommitId] = None) -> None:
+        self._repo = repo
+        self._base_commit = base_commit if base_commit is not None else repo.head()
+        self._snapshot = repo.snapshot(self._base_commit)
+        self._edits: Dict[Path, Optional[str]] = {}
+
+    @property
+    def base_commit(self) -> CommitId:
+        """The commit this workspace was branched from."""
+        return self._base_commit
+
+    # -- reads ------------------------------------------------------------
+
+    def read(self, path: Path) -> str:
+        """Current content of ``path`` including local edits."""
+        if path in self._edits:
+            content = self._edits[path]
+            if content is None:
+                raise UnknownFileError(f"{path!r} deleted in workspace")
+            return content
+        return self._snapshot.read(path)
+
+    def exists(self, path: Path) -> bool:
+        if path in self._edits:
+            return self._edits[path] is not None
+        return path in self._snapshot
+
+    def dirty_paths(self) -> Set[Path]:
+        """Paths with uncommitted local edits."""
+        return set(self._edits)
+
+    # -- edits ------------------------------------------------------------
+
+    def write(self, path: Path, content: str) -> None:
+        """Create or overwrite a file."""
+        self._edits[path] = content
+
+    def append(self, path: Path, suffix: str) -> None:
+        """Append to an existing file (reads through local edits)."""
+        self.write(path, self.read(path) + suffix)
+
+    def delete(self, path: Path) -> None:
+        """Delete a file; raises if it does not exist."""
+        if not self.exists(path):
+            raise UnknownFileError(f"{path!r} not in workspace")
+        self._edits[path] = None
+
+    def revert(self, path: Path) -> None:
+        """Discard the local edit of ``path``, if any."""
+        self._edits.pop(path, None)
+
+    # -- producing patches --------------------------------------------------
+
+    def to_patch(self) -> Patch:
+        """Snapshot the local edits as a patch with base contents recorded."""
+        patch = Patch()
+        for path, content in self._edits.items():
+            base = self._snapshot.get(path)
+            if content is None:
+                if base is not None:
+                    patch.add_op(FileOp(OpKind.DELETE, path))
+            elif base is None:
+                patch.add_op(FileOp(OpKind.ADD, path, content))
+            elif base != content:
+                patch.add_op(FileOp(OpKind.MODIFY, path, content, base_content=base))
+        return patch
+
+    def staleness_commits(self) -> int:
+        """How many mainline commits landed since this workspace branched."""
+        return self._repo.distance_to_mainline(self._base_commit)
+
+    def rebase_to_head(self) -> None:
+        """Re-root the workspace at the current mainline HEAD, keeping edits."""
+        self._base_commit = self._repo.head()
+        self._snapshot = self._repo.snapshot(self._base_commit)

@@ -1,0 +1,236 @@
+"""Label-mode workload generation.
+
+Produces :class:`~repro.changes.change.Change` streams with ground-truth
+labels, calibrated against the paper's measurements:
+
+* **Potential conflicts** — each change touches a few logical targets
+  drawn from a Zipf popularity distribution; two concurrent changes
+  potentially conflict when their target sets overlap.  The Zipf exponent
+  and targets-per-change control the conflict-graph density (deep iOS-like
+  vs. wide backend-like repos).
+* **Real conflicts** — a deterministic pairwise coin turns a potential
+  conflict into a real one at ``real_conflict_rate``, giving Figure 1's
+  ``1 - (1-q)^(n-1)`` growth (~5 % at 2 concurrent potentially-conflicting
+  changes, ~40 % at 16 with the default q).
+* **Individual failures** — each change's ``individually_ok`` label is
+  drawn from a logistic model over its own features (developer skill and
+  history, size, presubmit results), so a logistic-regression predictor
+  can genuinely reach the paper's ~97 % accuracy, and the features carry
+  the correlations section 7.2 describes.
+* **Durations** — sampled from the Figure-9 log-normal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.changes.change import (
+    Change,
+    Developer,
+    GroundTruth,
+    next_change_id,
+    next_revision_id,
+)
+from repro.errors import WorkloadError
+from repro.sim.arrivals import poisson_arrivals
+from repro.sim.durations import BuildDurationModel, IOS_DURATIONS
+from repro.types import TargetName
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for one synthetic workload."""
+
+    seed: int = 0
+    n_developers: int = 200
+    #: Size of the logical-target universe changes draw from.
+    target_universe: int = 1500
+    #: Zipf exponent for target popularity; larger -> hotter hot spots ->
+    #: denser conflict graphs (the paper's deep iOS graph).
+    zipf_exponent: float = 1.4
+    #: Mean number of targets a change touches (geometric distribution).
+    mean_targets_per_change: float = 3.0
+    #: Number of shared high-level "hub" targets (app binaries, core libs)
+    #: and the inclusion probability of the hottest one.  On a deep build
+    #: graph almost every change affects the app target, so the conflict
+    #: analyzer's potential-conflict relation is dense (section 8.4) even
+    #: though real conflicts stay gated on fine-grained module overlap.
+    hub_targets: int = 6
+    hub_popularity: float = 0.0
+    #: P(real conflict | potential conflict) per pair; Figure 1's q.
+    real_conflict_rate: float = 0.035
+    #: Fraction of changes that alter build-graph structure (section 5.2:
+    #: 7.9 % iOS, 1.6 % backend).
+    buildgraph_change_rate: float = 0.079
+    #: Baseline individual success probability (the latent logit's
+    #: intercept is solved from this).
+    base_success_rate: float = 0.9
+    #: Scale of the latent logit; larger -> outcomes more predictable from
+    #: features (drives achievable model accuracy).
+    outcome_sharpness: float = 3.0
+    durations: BuildDurationModel = IOS_DURATIONS
+
+    def __post_init__(self) -> None:
+        if self.n_developers <= 0 or self.target_universe <= 0:
+            raise WorkloadError("developers and targets must be positive")
+        if not 0.0 < self.base_success_rate < 1.0:
+            raise WorkloadError("base_success_rate must be in (0, 1)")
+        if not 0.0 <= self.real_conflict_rate <= 1.0:
+            raise WorkloadError("real_conflict_rate must be in [0, 1]")
+
+
+class WorkloadGenerator:
+    """Generates developers, changes, and timed streams."""
+
+    def __init__(self, config: WorkloadConfig = WorkloadConfig()) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.developers = self._make_developers()
+        self._target_probs = self._zipf_probabilities()
+        # Intercept solving: average logit offset so the population success
+        # rate lands near base_success_rate.
+        self._intercept = math.log(
+            config.base_success_rate / (1.0 - config.base_success_rate)
+        )
+
+    # -- population -----------------------------------------------------------
+
+    def _make_developers(self) -> List[Developer]:
+        developers: List[Developer] = []
+        for index in range(self.config.n_developers):
+            tenure = float(self._rng.gamma(2.0, 1.5))
+            skill = float(np.clip(self._rng.beta(8.0, 2.0), 0.05, 0.99))
+            fragility = float(np.clip(self._rng.beta(2.0, 10.0), 0.0, 0.9))
+            developers.append(
+                Developer(
+                    developer_id=f"dev{index:04d}",
+                    name=f"developer-{index}",
+                    tenure_years=round(tenure, 2),
+                    level=int(np.clip(2 + tenure // 1.5, 2, 8)),
+                    skill=skill,
+                    area_fragility=fragility,
+                )
+            )
+        return developers
+
+    def _zipf_probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.config.target_universe + 1, dtype=float)
+        weights = ranks ** (-self.config.zipf_exponent)
+        return weights / weights.sum()
+
+    # -- single change ---------------------------------------------------------
+
+    def _sample_modules(self) -> frozenset:
+        """Fine-grained modules the change touches (Zipf popularity)."""
+        mean = max(1.0, self.config.mean_targets_per_change)
+        count = 1 + int(self._rng.geometric(1.0 / mean)) - 1
+        count = max(1, min(count, 40))
+        picks = self._rng.choice(
+            self.config.target_universe,
+            size=min(count, self.config.target_universe),
+            replace=False,
+            p=self._target_probs,
+        )
+        return frozenset(f"//logical:{int(index):05d}" for index in picks)
+
+    def _sample_hubs(self) -> frozenset:
+        """Shared high-level targets swept into the affected closure."""
+        hubs = set()
+        p = self.config.hub_popularity
+        for index in range(self.config.hub_targets):
+            if p <= 0.0:
+                break
+            if self._rng.random() < p:
+                hubs.add(f"//hub:{index:02d}")
+            p *= 0.6  # each cooler hub is reached by fewer changes
+        return frozenset(hubs)
+
+    def make_change(self, submitted_at: float = 0.0) -> Change:
+        """One labeled change with correlated features and outcome."""
+        config = self.config
+        developer = self.developers[int(self._rng.integers(len(self.developers)))]
+        modules = self._sample_modules()
+        targets = modules | self._sample_hubs()
+        n_targets = len(targets)
+        n_files = max(1, int(self._rng.poisson(1.5 * n_targets)) + 1)
+        n_lines = max(1, int(self._rng.lognormal(3.2, 1.0)))
+        n_commits = 1 + int(self._rng.geometric(0.6)) - 1
+        n_binaries = int(self._rng.random() < 0.03)
+        has_revert_plan = bool(self._rng.random() < 0.8)
+        has_test_plan = bool(self._rng.random() < 0.85)
+        revision_submits = int(self._rng.geometric(0.65))
+
+        # Latent success logit: skilled tenured developers with test plans
+        # and small changes succeed; big changes in fragile areas fail.
+        logit = config.outcome_sharpness * (
+            1.2 * (developer.skill - 0.5)
+            - 0.35 * math.log1p(n_targets)
+            - 0.12 * math.log1p(n_lines / 50.0)
+            - 1.6 * developer.area_fragility
+            + 0.4 * (1.0 if has_test_plan else -1.0) * 0.5
+            + 0.25 * math.log1p(revision_submits)
+        ) + self._intercept
+        p_ok = 1.0 / (1.0 + math.exp(-logit))
+        individually_ok = bool(self._rng.random() < p_ok)
+        # Presubmit checks catch most individually-broken changes' smoke
+        # failures; they are strongly (not perfectly) correlated.
+        initial_tests_passed = (
+            1.0 if (individually_ok or self._rng.random() < 0.35) else 0.0
+        )
+
+        # Per-change conflict propensity: developers on fragile code paths
+        # and sprawling changes conflict more often (section 7.2's
+        # developer features are predictive precisely because of this).
+        conflict_weight = (
+            0.35 + 2.4 * developer.area_fragility + 0.1 * (len(modules) - 1)
+        )
+        conflict_weight = min(4.0, max(0.2, conflict_weight))
+        truth = GroundTruth(
+            individually_ok=individually_ok,
+            target_names=targets,
+            module_names=modules,
+            conflict_salt=int(self._rng.integers(1 << 62)),
+            real_conflict_rate=min(1.0, config.real_conflict_rate * conflict_weight),
+            changes_build_graph=bool(
+                self._rng.random() < config.buildgraph_change_rate
+            ),
+        )
+        features: Dict[str, float] = {
+            "n_affected_targets": float(n_targets),
+            "n_commits": float(n_commits),
+            "n_files_changed": float(n_files),
+            "n_lines_added": float(n_lines),
+            "n_hunks": float(max(1, n_files + int(self._rng.poisson(1.0)))),
+            "n_binaries_changed": float(n_binaries),
+            "initial_tests_passed": initial_tests_passed,
+            "revision_submit_count": float(revision_submits),
+            "has_revert_plan": 1.0 if has_revert_plan else 0.0,
+            "has_test_plan": 1.0 if has_test_plan else 0.0,
+        }
+        return Change(
+            change_id=next_change_id(),
+            revision_id=next_revision_id(),
+            developer=developer,
+            submitted_at=submitted_at,
+            description="synthetic change",
+            features=features,
+            ground_truth=truth,
+            build_duration=float(self.config.durations.sample(self._rng)),
+        )
+
+    # -- streams -----------------------------------------------------------
+
+    def history(self, count: int) -> List[Change]:
+        """``count`` labeled changes for model training."""
+        return [self.make_change() for _ in range(count)]
+
+    def stream(
+        self, rate_per_hour: float, count: int, start: float = 0.0
+    ) -> List[Tuple[float, Change]]:
+        """A timed (arrival, change) stream at a Poisson rate."""
+        times = poisson_arrivals(rate_per_hour, count, rng=self._rng, start=start)
+        return [(time, self.make_change(submitted_at=time)) for time in times]

@@ -1,0 +1,45 @@
+"""Shared fixtures: a tiny repository with BUILD files, and a synthetic
+monorepo/workload pair for the heavier integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vcs.repository import Repository
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+#: A three-target repo: app -> lib -> base, one extra independent tool.
+TINY_FILES = {
+    "base/BUILD": (
+        "target(name = 'base', srcs = ['base.py'], deps = [])\n"
+    ),
+    "base/base.py": "BASE = 1\n",
+    "lib/BUILD": (
+        "target(name = 'lib', srcs = ['lib.py'], deps = ['//base:base'])\n"
+    ),
+    "lib/lib.py": "LIB = 2\n",
+    "app/BUILD": (
+        "target(name = 'app', srcs = ['app.py'], deps = ['//lib:lib'],"
+        " steps = ['compile', 'unit_test', 'ui_test'])\n"
+    ),
+    "app/app.py": "APP = 3\n",
+    "tool/BUILD": (
+        "target(name = 'tool', srcs = ['tool.py'], deps = [])\n"
+    ),
+    "tool/tool.py": "TOOL = 4\n",
+}
+
+
+@pytest.fixture
+def tiny_repo() -> Repository:
+    return Repository(dict(TINY_FILES))
+
+
+@pytest.fixture
+def tiny_snapshot(tiny_repo):
+    return tiny_repo.snapshot().to_dict()
+
+
+@pytest.fixture
+def monorepo() -> SyntheticMonorepo:
+    return SyntheticMonorepo(MonorepoSpec(layers=(3, 4, 5), fan_in=2), seed=42)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.buildsys.loader (BUILD file parsing)."""
+
+import pytest
+
+from repro.buildsys.loader import (
+    load_build_graph,
+    parse_build_file,
+    render_build_file,
+)
+from repro.errors import BuildFileError, UnknownTargetError
+from repro.types import StepKind
+
+
+class TestParseBuildFile:
+    def test_minimal_target(self):
+        targets = parse_build_file("pkg", "target(name='x', srcs=['a.py'])")
+        assert len(targets) == 1
+        assert targets[0].name == "//pkg:x"
+        assert targets[0].srcs == ("pkg/a.py",)
+        assert targets[0].steps == (StepKind.COMPILE, StepKind.UNIT_TEST)
+
+    def test_root_package_paths(self):
+        targets = parse_build_file("", "target(name='x', srcs=['a.py'])")
+        assert targets[0].name == "//:x"
+        assert targets[0].srcs == ("a.py",)
+
+    def test_deps_and_steps(self):
+        content = (
+            "target(name='x', srcs=['a.py'], deps=['//other:y'],"
+            " steps=['compile', 'ui_test'])"
+        )
+        (target,) = parse_build_file("pkg", content)
+        assert target.deps == ("//other:y",)
+        assert StepKind.UI_TEST in target.steps
+
+    def test_multiple_targets(self):
+        content = "target(name='a', srcs=[])\ntarget(name='b', srcs=[])\n"
+        assert len(parse_build_file("pkg", content)) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "import os",                            # non-call statement
+            "other(name='x')",                      # unknown callable
+            "target('x')",                          # positional arg
+            "target(name='x', bogus=1)",            # unknown field
+            "target(name=1)",                       # non-string name
+            "target(name='x', srcs='a.py')",        # srcs not a list
+            "target(name='x', deps=['relative'])",  # malformed dep
+            "target(name='x', steps=['warp'])",     # unknown step
+            "target(name='x', srcs=[open('f')])",   # non-literal
+            "target(name='x'",                      # syntax error
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(BuildFileError):
+            parse_build_file("pkg", bad)
+
+
+class TestLoadBuildGraph:
+    def test_loads_tiny_repo(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        assert {t.name for t in graph} == {
+            "//base:base", "//lib:lib", "//app:app", "//tool:tool",
+        }
+        assert graph.target("//app:app").deps == ("//lib:lib",)
+
+    def test_missing_dep_raises(self):
+        snapshot = {"a/BUILD": "target(name='a', srcs=[], deps=['//b:b'])"}
+        with pytest.raises(UnknownTargetError):
+            load_build_graph(snapshot)
+
+    def test_non_build_files_ignored(self):
+        snapshot = {
+            "a/BUILD": "target(name='a', srcs=[])",
+            "a/BUILD.bak": "garbage that is not python",
+            "REBUILD": "also garbage",
+        }
+        graph = load_build_graph(snapshot)
+        assert len(graph) == 1
+
+
+class TestRenderRoundTrip:
+    def test_render_then_parse(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        target = graph.target("//app:app")
+        content = render_build_file([target])
+        (reparsed,) = parse_build_file("app", content)
+        assert reparsed.name == target.name
+        assert set(reparsed.srcs) == set(target.srcs)
+        assert set(reparsed.deps) == set(target.deps)
+        assert reparsed.steps == target.steps

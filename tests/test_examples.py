@@ -1,0 +1,50 @@
+"""The example scripts must actually run (downsized via their CLIs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "mainline green: True" in out
+        assert "LANDED" in out and "REJECTED" in out
+
+    def test_conflict_analyzer_demo(self):
+        out = run_example("conflict_analyzer_demo.py")
+        assert "union-graph verdict:  conflict = True" in out
+        assert "independent components" in out
+
+    def test_mobile_release_simulation_small(self):
+        out = run_example(
+            "mobile_release_simulation.py",
+            "--changes", "40", "--workers", "24", "--rate", "200",
+        )
+        assert "Oracle" in out and "Single-Queue" in out
+        assert "1.00x" in out
+
+    def test_replay_dataset_small(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = run_example(
+            "replay_dataset.py", "--changes", "40", "--workers", "32",
+            "--trace", str(trace),
+        )
+        assert trace.exists()
+        assert "recorded 40 changes" in out
+        assert "500/h" in out

@@ -1,0 +1,53 @@
+"""Tests for the Figure 5-8 worked-example reproductions."""
+
+from repro.experiments import figure05to08
+from repro.types import BuildKey
+
+
+class TestFigure5:
+    def test_seven_builds_total(self):
+        shape = figure05to08.figure5()
+        assert shape.total_builds == 7
+        assert shape.builds_per_change == {"C1": 1, "C2": 2, "C3": 4}
+
+    def test_exact_keys_match_paper_tree(self):
+        keys = set(figure05to08.figure5().keys)
+        assert keys == {
+            BuildKey("C1"),
+            BuildKey("C2"),
+            BuildKey("C2", frozenset({"C1"})),
+            BuildKey("C3"),
+            BuildKey("C3", frozenset({"C1"})),
+            BuildKey("C3", frozenset({"C2"})),
+            BuildKey("C3", frozenset({"C1", "C2"})),
+        }
+
+
+class TestFigure6:
+    def test_six_builds_and_parallel_independents(self):
+        shape = figure05to08.figure6()
+        assert shape.builds_per_change == {"C1": 1, "C2": 1, "C3": 4}
+        assert shape.total_builds == 6
+
+
+class TestFigure7:
+    def test_five_builds(self):
+        """The paper: 'the total number of possible builds decreases from
+        seven to five.'"""
+        shape = figure05to08.figure7()
+        assert shape.total_builds == 5
+        assert shape.builds_per_change == {"C1": 1, "C2": 2, "C3": 2}
+
+
+class TestFigure8:
+    def test_disjoint_names_but_real_conflict(self):
+        verdict = figure05to08.figure8()
+        assert not verdict.names_intersect
+        assert verdict.equation6_conflicts
+        assert verdict.union_graph_conflicts
+
+    def test_format_renders(self):
+        text = figure05to08.format_result()
+        assert "Figures 5-7" in text
+        assert "Figure 8" in text
+        assert "union-graph conflict = True" in text

@@ -1,0 +1,113 @@
+"""Unit tests for metrics: percentiles, CDFs, collectors."""
+
+import pytest
+
+from repro.metrics.cdf import Cdf
+from repro.metrics.collector import GreennessTracker, TurnaroundStats
+from repro.metrics.percentile import percentile, percentiles, summarize
+
+
+class TestPercentiles:
+    def test_basic(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == pytest.approx(50.5)
+        assert percentile(data, 99) == pytest.approx(99.01)
+        assert percentiles(data, [50, 95]) == [
+            pytest.approx(50.5), pytest.approx(95.05),
+        ]
+
+    def test_summary_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"p50", "p95", "p99", "mean", "count"}
+        assert summary["count"] == 3
+
+    def test_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCdf:
+    def test_at_and_quantile(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(10) == 1.0
+        assert cdf.quantile(0.5) == pytest.approx(2.5)
+
+    def test_series(self):
+        cdf = Cdf([10, 20, 30])
+        assert cdf.series([5, 15, 35]) == [0.0, pytest.approx(1 / 3), 1.0]
+
+    def test_steps(self):
+        steps = Cdf([3, 1]).steps()
+        assert steps == [(1.0, 0.5), (3.0, 1.0)]
+
+    def test_ks_distance(self):
+        a = Cdf([1, 2, 3])
+        b = Cdf([1, 2, 3])
+        assert a.max_distance(b) == 0.0
+        c = Cdf([101, 102, 103])
+        assert a.max_distance(c) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+        with pytest.raises(ValueError):
+            Cdf([1]).quantile(2.0)
+
+
+class TestTurnaroundStats:
+    def test_normalization(self):
+        mine = TurnaroundStats()
+        mine.extend([20.0] * 10)
+        oracle = TurnaroundStats()
+        oracle.extend([10.0] * 10)
+        normalized = mine.normalized_against(oracle)
+        assert normalized["p50"] == pytest.approx(2.0)
+        assert normalized["p95"] == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TurnaroundStats().add(-1.0)
+
+
+class TestGreennessTracker:
+    def test_green_fraction(self):
+        tracker = GreennessTracker(start=0.0, green=True)
+        tracker.record(60.0, green=False)
+        tracker.record(120.0, green=True)
+        tracker.close(240.0)
+        assert tracker.green_fraction() == pytest.approx(0.75)
+
+    def test_hourly_rates(self):
+        tracker = GreennessTracker(start=0.0, green=True)
+        tracker.record(90.0, green=False)   # red from 1.5h
+        tracker.record(150.0, green=True)   # green again at 2.5h
+        tracker.close(240.0)
+        rates = tracker.hourly_green_rate()
+        assert rates == [
+            pytest.approx(100.0),
+            pytest.approx(50.0),
+            pytest.approx(50.0),
+            pytest.approx(100.0),
+        ]
+
+    def test_redundant_transitions_collapsed(self):
+        tracker = GreennessTracker()
+        tracker.record(10.0, green=True)   # no-op
+        tracker.record(20.0, green=False)
+        tracker.record(25.0, green=False)  # no-op
+        tracker.close(30.0)
+        assert tracker.green_fraction() == pytest.approx(20.0 / 30.0)
+
+    def test_must_close_before_reading(self):
+        tracker = GreennessTracker()
+        with pytest.raises(ValueError):
+            tracker.green_fraction()
+
+    def test_out_of_order_rejected(self):
+        tracker = GreennessTracker(start=100.0)
+        with pytest.raises(ValueError):
+            tracker.record(50.0, green=False)

@@ -1,0 +1,199 @@
+"""Unit tests for the planner engine."""
+
+import pytest
+
+from repro.changes.change import Change, Developer, GroundTruth, next_change_id
+from repro.changes.truth import potential_conflict
+from repro.planner.controller import LabelBuildController
+from repro.planner.planner import PlannerEngine
+from repro.planner.workers import WorkerPool
+from repro.strategies.oracle import OracleStrategy
+from repro.strategies.single_queue import SingleQueueStrategy
+from repro.types import BuildKey, ChangeState
+
+DEV = Developer("dev1")
+
+
+def labeled(targets=("//m",), ok=True, rate=0.0, salt=0, duration=30.0):
+    return Change(
+        change_id=next_change_id(),
+        revision_id="R1",
+        developer=DEV,
+        ground_truth=GroundTruth(
+            individually_ok=ok,
+            target_names=frozenset(targets),
+            conflict_salt=salt,
+            real_conflict_rate=rate,
+        ),
+        build_duration=duration,
+    )
+
+
+def make_planner(workers=4, strategy=None):
+    return PlannerEngine(
+        strategy=strategy or OracleStrategy(),
+        controller=LabelBuildController(),
+        workers=WorkerPool(workers),
+        conflict_predicate=potential_conflict,
+    )
+
+
+class TestSubmission:
+    def test_submit_registers_and_freezes_ancestors(self):
+        planner = make_planner()
+        a = labeled(["//x"])
+        b = labeled(["//x"])
+        c = labeled(["//y"])
+        planner.submit(a, 0.0)
+        planner.submit(b, 1.0)
+        planner.submit(c, 2.0)
+        assert planner.ancestors[a.change_id] == []
+        assert planner.ancestors[b.change_id] == [a.change_id]
+        assert planner.ancestors[c.change_id] == []
+        assert planner.pending_count() == 3
+
+    def test_plan_starts_builds_within_capacity(self):
+        planner = make_planner(workers=2)
+        for _ in range(5):
+            planner.submit(labeled([f"//t{_}"]), 0.0)
+        result = planner.plan(0.0)
+        assert len(result.started) == 2
+        assert planner.workers.free == 0
+
+
+class TestDecisions:
+    def test_single_change_commits(self):
+        planner = make_planner()
+        change = labeled()
+        planner.submit(change, 0.0)
+        (started,), _ = planner.plan(0.0).started, None
+        decisions = planner.complete(started.key, 30.0)
+        assert [d.change_id for d in decisions] == [change.change_id]
+        assert decisions[0].committed
+        record = planner.records[change.change_id]
+        assert record.state is ChangeState.COMMITTED
+        assert record.turnaround == 30.0
+        assert planner.pending_count() == 0
+
+    def test_broken_change_rejected(self):
+        planner = make_planner()
+        change = labeled(ok=False)
+        planner.submit(change, 0.0)
+        started = planner.plan(0.0).started[0]
+        decisions = planner.complete(started.key, 30.0)
+        assert not decisions[0].committed
+        assert planner.records[change.change_id].state is ChangeState.REJECTED
+
+    def test_conflicting_pair_decides_in_order(self):
+        planner = make_planner()
+        a = labeled(["//x"], rate=1.0, salt=1)
+        b = labeled(["//x"], rate=1.0, salt=2)
+        planner.submit(a, 0.0)
+        planner.submit(b, 0.0)
+        result = planner.plan(0.0)
+        keys = {s.key for s in result.started}
+        # Oracle schedules a's decisive build and b's true-context build.
+        assert BuildKey(a.change_id) in keys
+        assert BuildKey(b.change_id, frozenset({a.change_id})) in keys
+        # Complete b's build first: b must still wait for a.
+        decisions = planner.complete(
+            BuildKey(b.change_id, frozenset({a.change_id})), 20.0
+        )
+        assert decisions == []
+        decisions = planner.complete(BuildKey(a.change_id), 30.0)
+        ids = {d.change_id: d for d in decisions}
+        assert ids[a.change_id].committed
+        # b really conflicts with committed a -> rejected, and it cascades
+        # in the same call because its build finished earlier.
+        assert not ids[b.change_id].committed
+
+    def test_speculation_counters_update(self):
+        planner = make_planner()
+        a = labeled(["//x"])
+        planner.submit(a, 0.0)
+        started = planner.plan(0.0).started[0]
+        planner.complete(started.key, 10.0)
+        record = planner.records[a.change_id]
+        assert record.speculations_succeeded == 1
+        assert record.builds_scheduled == 1
+
+    def test_stale_completion_ignored(self):
+        planner = make_planner()
+        change = labeled()
+        planner.submit(change, 0.0)
+        key = planner.plan(0.0).started[0].key
+        planner.complete(key, 10.0)
+        assert planner.complete(key, 20.0) == []  # double completion
+
+
+class TestAbort:
+    def test_builds_outside_selection_aborted(self):
+        planner = make_planner(workers=4)
+        a = labeled(["//x"], ok=False)   # will be rejected
+        b = labeled(["//x"], rate=0.0)
+        planner.submit(a, 0.0)
+        planner.submit(b, 0.0)
+        planner.plan(0.0)
+        # Oracle schedules (a) and (b|{}) because a is known to fail.
+        keys = set(planner.workers.running_builds())
+        assert BuildKey(b.change_id, frozenset()) in keys
+        # Completing a's build rejects it; b's build stays selected.
+        planner.complete(BuildKey(a.change_id), 30.0)
+        result = planner.plan(30.0)
+        assert BuildKey(b.change_id, frozenset()) not in result.aborted
+
+    def test_abort_counts(self):
+        planner = make_planner(workers=2)
+
+        class FickleStrategy(SingleQueueStrategy):
+            # Selects nothing on even calls to force aborts.
+            calls = 0
+
+            def select(self, view, budget):
+                type(self).calls += 1
+                if type(self).calls % 2 == 0:
+                    return []
+                return super().select(view, budget)
+
+        planner = make_planner(workers=2, strategy=FickleStrategy())
+        planner.submit(labeled(), 0.0)
+        first = planner.plan(0.0)   # selects, starts 1
+        assert len(first.started) == 1
+        second = planner.plan(1.0)  # selects nothing -> aborts (stall guard restarts)
+        assert len(second.aborted) == 1
+        assert planner.stats.builds_aborted == 1
+
+
+class TestStallGuard:
+    def test_head_decisive_build_forced(self):
+        class NullStrategy(SingleQueueStrategy):
+            def select(self, view, budget):
+                return []
+
+        planner = make_planner(workers=2, strategy=NullStrategy())
+        change = labeled()
+        planner.submit(change, 0.0)
+        result = planner.plan(0.0)
+        assert len(result.started) == 1
+        assert result.started[0].key == BuildKey(change.change_id)
+
+
+class TestEquivalentBuildRule:
+    def test_superset_stack_of_committed_extras_decides(self):
+        planner = make_planner()
+        # a and b do not conflict; b's build stacked a anyway (Zuul-style).
+        a = labeled(["//x"])
+        b = labeled(["//y"])
+        planner.submit(a, 0.0)
+        planner.submit(b, 0.0)
+        # Manually start b's all-ahead build plus a's decisive build.
+        planner._start(BuildKey(a.change_id), 0.0)
+        planner._start(BuildKey(b.change_id, frozenset({a.change_id})), 0.0)
+        planner.complete(BuildKey(b.change_id, frozenset({a.change_id})), 25.0)
+        # b cannot decide yet: a (the stacked extra) is still pending.
+        assert planner.records[b.change_id].state is ChangeState.PENDING
+        decisions = planner.complete(BuildKey(a.change_id), 30.0)
+        ids = {d.change_id for d in decisions}
+        # a commits; b is decided by the equivalent stacked build.
+        assert ids == {a.change_id, b.change_id}
+        assert planner.records[b.change_id].state is ChangeState.COMMITTED

@@ -1,0 +1,73 @@
+"""Property-based tests for build-graph hashing invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buildsys.graph import BuildGraph
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.target import Target
+
+
+@st.composite
+def layered_graph_and_files(draw):
+    """A random layered DAG plus its source files."""
+    layer_sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4)
+    )
+    targets = []
+    files = {}
+    previous_layer = []
+    for layer_index, size in enumerate(layer_sizes):
+        current = []
+        for slot in range(size):
+            name = f"//l{layer_index}:t{slot}"
+            src = f"l{layer_index}/t{slot}.py"
+            files[src] = draw(st.text(alphabet=string.ascii_letters, max_size=10))
+            deps = ()
+            if previous_layer:
+                picks = draw(
+                    st.lists(
+                        st.sampled_from(previous_layer), max_size=2, unique=True
+                    )
+                )
+                deps = tuple(sorted(picks))
+            targets.append(Target(name, srcs=(src,), deps=deps))
+            current.append(name)
+        previous_layer = current
+    graph = BuildGraph(targets)
+    graph.validate()
+    return graph, files
+
+
+class TestHashingProperties:
+    @given(layered_graph_and_files())
+    @settings(max_examples=60)
+    def test_hashing_is_pure(self, graph_and_files):
+        graph, files = graph_and_files
+        first = TargetHasher(graph, files).all_hashes()
+        second = TargetHasher(graph, files).all_hashes()
+        assert first == second
+
+    @given(layered_graph_and_files(), st.data())
+    @settings(max_examples=60)
+    def test_change_affects_exactly_reverse_closure(self, graph_and_files, data):
+        graph, files = graph_and_files
+        target = data.draw(st.sampled_from(sorted(t.name for t in graph)))
+        src = graph.target(target).srcs[0]
+        changed = dict(files, **{src: files[src] + "-changed"})
+        before = TargetHasher(graph, files).all_hashes()
+        after = TargetHasher(graph, changed).all_hashes()
+        affected = {name for name in before if before[name] != after[name]}
+        assert affected == graph.transitive_dependents([target])
+
+    @given(layered_graph_and_files())
+    @settings(max_examples=40)
+    def test_topological_order_respects_all_edges(self, graph_and_files):
+        graph, _ = graph_and_files
+        order = graph.topological_order()
+        position = {name: index for index, name in enumerate(order)}
+        for target in graph:
+            for dep in target.deps:
+                assert position[dep] < position[target.name]

@@ -1,0 +1,127 @@
+"""Property-based tests for the VCS substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatchConflictError
+from repro.vcs.patch import FileOp, OpKind, Patch, squash, three_way_conflicts
+from repro.vcs.repository import Repository
+
+path_strategy = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+content_strategy = st.text(alphabet=string.printable, max_size=40)
+snapshot_strategy = st.dictionaries(path_strategy, content_strategy, max_size=8)
+
+
+def patch_for(snapshot, edits, adds, deletes):
+    """Build a patch guaranteed to apply cleanly to ``snapshot``."""
+    patch = Patch()
+    used = set()
+    for path, content in edits:
+        if path in snapshot and path not in used:
+            patch.add_op(FileOp(OpKind.MODIFY, path, content,
+                                base_content=snapshot[path]))
+            used.add(path)
+    for path, content in adds:
+        if path not in snapshot and path not in used:
+            patch.add_op(FileOp(OpKind.ADD, path, content))
+            used.add(path)
+    for path in deletes:
+        if path in snapshot and path not in used:
+            patch.add_op(FileOp(OpKind.DELETE, path))
+            used.add(path)
+    return patch
+
+
+clean_patch_inputs = st.tuples(
+    st.lists(st.tuples(path_strategy, content_strategy), max_size=4),
+    st.lists(st.tuples(path_strategy, content_strategy), max_size=4),
+    st.lists(path_strategy, max_size=4),
+)
+
+
+class TestPatchProperties:
+    @given(snapshot_strategy, clean_patch_inputs)
+    @settings(max_examples=120)
+    def test_apply_matches_delta(self, snapshot, inputs):
+        patch = patch_for(snapshot, *inputs)
+        result = patch.apply(snapshot)
+        for path, content in patch.delta().items():
+            if content is None:
+                assert path not in result
+            else:
+                assert result[path] == content
+        # Untouched paths unchanged.
+        for path in set(snapshot) - patch.paths:
+            assert result[path] == snapshot[path]
+
+    @given(snapshot_strategy, clean_patch_inputs, clean_patch_inputs)
+    @settings(max_examples=80)
+    def test_squash_equals_sequential(self, snapshot, first_inputs, second_inputs):
+        first = patch_for(snapshot, *first_inputs)
+        intermediate = first.apply(snapshot)
+        second = patch_for(intermediate, *second_inputs)
+        sequential = second.apply(intermediate)
+        combined = squash([first, second])
+        try:
+            squashed = combined.apply(snapshot)
+        except PatchConflictError:
+            # ADD-then-DELETE of a path absent from the base squashes to a
+            # DELETE that cannot apply; the sequential result must show the
+            # path absent, making the squash semantically consistent.
+            deleted = [
+                op.path for op in combined if op.kind is OpKind.DELETE
+            ]
+            assert any(
+                path not in snapshot and path not in sequential
+                for path in deleted
+            )
+            return
+        assert squashed == sequential
+
+    @given(snapshot_strategy, clean_patch_inputs, clean_patch_inputs)
+    @settings(max_examples=80)
+    def test_nonconflicting_patches_commute(self, snapshot, fi, si):
+        first = patch_for(snapshot, *fi)
+        second = patch_for(snapshot, *si)
+        if three_way_conflicts(first, second):
+            return
+        if first.paths & second.paths:
+            return  # identical-content overlap: order still irrelevant, skip
+        ab = second.apply(first.apply(snapshot))
+        ba = first.apply(second.apply(snapshot))
+        assert ab == ba
+
+
+class TestRepositoryProperties:
+    @given(st.lists(clean_patch_inputs, max_size=6), snapshot_strategy)
+    @settings(max_examples=60)
+    def test_history_replay_reaches_head_snapshot(self, patch_inputs, initial):
+        repo = Repository(initial)
+        snapshots = [repo.snapshot().to_dict()]
+        for inputs in patch_inputs:
+            patch = patch_for(snapshots[-1], *inputs)
+            repo.commit_to_mainline(patch)
+            snapshots.append(repo.snapshot().to_dict())
+        # Replaying the history from the root reproduces every snapshot.
+        replay = dict(initial)
+        for commit_id, expected in zip(repo.mainline_history()[1:], snapshots[1:]):
+            commit = repo.commit(commit_id)
+            for path, content in commit.delta.items():
+                if content is None:
+                    replay.pop(path, None)
+                else:
+                    replay[path] = content
+            assert replay == expected
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_green_fraction_counts(self, greens):
+        repo = Repository({"a": "0"})
+        for index, green in enumerate(greens):
+            patch = patch_for(repo.snapshot().to_dict(), [("a", str(index + 1))], [], [])
+            repo.commit_to_mainline(patch, green=green)
+        expected = (1 + sum(greens)) / (1 + len(greens))
+        assert repo.green_fraction() == expected
+        assert repo.is_green() == all(greens)

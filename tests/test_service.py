@@ -1,0 +1,91 @@
+"""Integration tests for the SubmitQueue service facade (full-stack)."""
+
+import pytest
+
+from repro.errors import UnknownChangeError
+from repro.predictor.predictors import StaticPredictor
+from repro.service.api import SubmitQueueService
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.types import ChangeState
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+
+@pytest.fixture
+def monorepo():
+    return SyntheticMonorepo(MonorepoSpec(layers=(3, 4), fan_in=2), seed=7)
+
+
+@pytest.fixture
+def service(monorepo):
+    core = CoreService(
+        repo=monorepo.repo,
+        strategy=SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.1)),
+        config=CoreServiceConfig(workers=4),
+    )
+    return SubmitQueueService(core)
+
+
+class TestLanding:
+    def test_clean_change_lands_and_mainline_stays_green(self, service, monorepo):
+        change = monorepo.make_clean_change()
+        status = service.land_change(change, wait=True)
+        assert status.is_landed
+        assert status.turnaround is not None and status.turnaround > 0
+        assert service.mainline_is_green()
+        # The patch is actually on the mainline now.
+        path = change.patch.paths.pop()
+        assert monorepo.repo.snapshot()[path] == change.patch.op_for(path).content
+
+    def test_broken_change_rejected_mainline_untouched(self, service, monorepo):
+        head_before = monorepo.repo.head()
+        change = monorepo.make_broken_change()
+        status = service.land_change(change, wait=True)
+        assert status.state is ChangeState.REJECTED
+        assert monorepo.repo.head() == head_before
+        assert service.mainline_is_green()
+
+    def test_conflicting_pair_second_rejected(self, service, monorepo):
+        first, second = monorepo.make_conflicting_pair()
+        service.land_change(first)
+        service.land_change(second)
+        service.process()
+        assert service.status(first.change_id).state is ChangeState.COMMITTED
+        assert service.status(second.change_id).state is ChangeState.REJECTED
+        assert service.mainline_is_green()
+
+    def test_independent_changes_all_land(self, service, monorepo):
+        targets = monorepo.target_names(layer=0)
+        changes = [monorepo.make_clean_change(t) for t in targets[:3]]
+        for change in changes:
+            service.land_change(change)
+        assert service.queue_depth() == 3
+        assert set(service.pending_ids()) == {c.change_id for c in changes}
+        service.process()
+        for change in changes:
+            assert service.status(change.change_id).is_landed
+        assert service.mainline_is_green()
+
+    def test_sequential_lands_rebase_over_each_other(self, service, monorepo):
+        target = monorepo.target_names(layer=0)[0]
+        first = monorepo.make_clean_change(target)
+        status = service.land_change(first, wait=True)
+        assert status.is_landed
+        # Second change to the same target, created after the first landed.
+        second = monorepo.make_clean_change(target)
+        status = service.land_change(second, wait=True)
+        assert status.is_landed
+        assert len(monorepo.repo.mainline_history()) == 3  # root + 2
+
+
+class TestStatus:
+    def test_unknown_change(self, service):
+        with pytest.raises(UnknownChangeError):
+            service.status("D999999")
+
+    def test_status_counters(self, service, monorepo):
+        change = monorepo.make_clean_change()
+        status = service.land_change(change, wait=True)
+        assert status.builds_scheduled >= 1
+        assert status.speculations_succeeded >= 1
+        assert status.reason

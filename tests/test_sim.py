@@ -1,0 +1,207 @@
+"""Unit tests for the simulation substrate (clock, events, arrivals,
+durations) and the end-to-end simulator."""
+
+import numpy as np
+import pytest
+
+from repro.changes.truth import potential_conflict
+from repro.errors import ClockError
+from repro.planner.controller import LabelBuildController
+from repro.sim.arrivals import fixed_rate_arrivals, poisson_arrivals
+from repro.sim.clock import Clock
+from repro.sim.durations import BuildDurationModel, IOS_DURATIONS
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulation
+from repro.strategies.oracle import OracleStrategy
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+
+    def test_no_rewind(self):
+        clock = Clock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.0)
+        with pytest.raises(ClockError):
+            clock.advance_by(-1.0)
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, "b")
+        queue.push(1.0, "a")
+        queue.push(9.0, "c")
+        assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_within_timestamp(self):
+        queue = EventQueue()
+        queue.push(1.0, "first")
+        queue.push(1.0, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, "gone")
+        queue.push(2.0, "kept")
+        queue.cancel(handle)
+        assert len(queue) == 1
+        assert queue.pop().payload == "kept"
+        assert queue.pop() is None
+
+    def test_double_cancel_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, "x")
+        queue.cancel(handle)
+        queue.cancel(handle)
+        assert len(queue) == 0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, "x")
+        queue.push(3.0, "y")
+        queue.cancel(handle)
+        assert queue.peek_time() == 3.0
+
+
+class TestArrivals:
+    def test_fixed_rate_spacing(self):
+        times = fixed_rate_arrivals(60.0, 5)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_poisson_mean_gap(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(120.0, 4000, rng=rng)
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fixed_rate_arrivals(0, 3)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, -1)
+
+
+class TestDurations:
+    def test_median_matches_config(self):
+        rng = np.random.default_rng(1)
+        model = BuildDurationModel(median=30.0, p90=60.0)
+        draws = model.sample(rng, size=20000)
+        assert float(np.median(draws)) == pytest.approx(30.0, rel=0.05)
+
+    def test_clipping(self):
+        rng = np.random.default_rng(2)
+        draws = IOS_DURATIONS.sample(rng, size=5000)
+        assert float(np.min(draws)) >= IOS_DURATIONS.minimum
+        assert float(np.max(draws)) <= IOS_DURATIONS.maximum
+
+    def test_cdf_monotone(self):
+        grid = [5, 10, 20, 40, 80, 119]
+        series = IOS_DURATIONS.cdf_series(grid)
+        assert series == sorted(series)
+        assert IOS_DURATIONS.cdf(1.0) == 0.0
+        assert IOS_DURATIONS.cdf(500.0) == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BuildDurationModel(median=60.0, p90=30.0)
+
+
+def small_stream(count=40, rate=120.0, seed=5):
+    config = WorkloadConfig(
+        seed=seed,
+        n_developers=20,
+        target_universe=400,
+        zipf_exponent=0.9,
+        mean_targets_per_change=2.0,
+        real_conflict_rate=0.05,
+        base_success_rate=0.95,
+    )
+    return WorkloadGenerator(config).stream(rate, count)
+
+
+class TestSimulation:
+    def test_all_changes_decided(self):
+        stream = small_stream()
+        sim = Simulation(
+            strategy=OracleStrategy(),
+            controller=LabelBuildController(),
+            workers=16,
+            conflict_predicate=potential_conflict,
+        )
+        result = sim.run(stream)
+        assert result.changes_submitted == 40
+        assert result.changes_committed + result.changes_rejected == 40
+        assert len(result.turnarounds) == 40
+        assert all(t >= 0 for t in result.turnarounds.values())
+
+    def test_throughput_positive(self):
+        result = Simulation(
+            strategy=OracleStrategy(),
+            controller=LabelBuildController(),
+            workers=16,
+            conflict_predicate=potential_conflict,
+        ).run(small_stream())
+        assert result.throughput_per_hour > 0
+        assert 0 < result.utilization <= 1.0
+
+    def test_deterministic_given_same_stream(self):
+        stream = small_stream(seed=9)
+
+        def run():
+            return Simulation(
+                strategy=OracleStrategy(),
+                controller=LabelBuildController(),
+                workers=8,
+                conflict_predicate=potential_conflict,
+            ).run(list(stream))
+
+        first, second = run(), run()
+        assert first.turnarounds == second.turnarounds
+        assert first.changes_committed == second.changes_committed
+
+    def test_more_workers_never_hurt_oracle(self):
+        stream = small_stream(count=60, rate=240.0, seed=11)
+        few = Simulation(
+            strategy=OracleStrategy(),
+            controller=LabelBuildController(),
+            workers=2,
+            conflict_predicate=potential_conflict,
+        ).run(list(stream))
+        many = Simulation(
+            strategy=OracleStrategy(),
+            controller=LabelBuildController(),
+            workers=64,
+            conflict_predicate=potential_conflict,
+        ).run(list(stream))
+        assert many.makespan_minutes <= few.makespan_minutes
+        from repro.metrics.percentile import summarize
+        assert summarize(many.turnaround_values())["p95"] <= summarize(
+            few.turnaround_values()
+        )["p95"]
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            Simulation(
+                strategy=OracleStrategy(),
+                controller=LabelBuildController(),
+                workers=2,
+                conflict_predicate=potential_conflict,
+                epoch_minutes=0.0,
+            )
+
+    def test_empty_stream(self):
+        result = Simulation(
+            strategy=OracleStrategy(),
+            controller=LabelBuildController(),
+            workers=2,
+            conflict_predicate=potential_conflict,
+        ).run([])
+        assert result.changes_submitted == 0
+        assert result.makespan_minutes == 0.0

@@ -1,0 +1,127 @@
+"""Unit tests for the SQLite persistence layer."""
+
+import pytest
+
+from repro.changes.change import Change, Developer, GroundTruth, next_change_id
+from repro.planner.planner import Decision
+from repro.service.storage import PersistentLedgerMirror, SubmitQueueStore
+from repro.types import BuildKey, ChangeState
+
+DEV = Developer("dev1")
+
+
+def labeled():
+    return Change(
+        change_id=next_change_id(),
+        revision_id="R1",
+        developer=DEV,
+        ground_truth=GroundTruth(target_names=frozenset({"//a"})),
+        features={"n_lines_added": 12.0},
+    )
+
+
+class TestStore:
+    def test_submission_roundtrip(self):
+        with SubmitQueueStore() as store:
+            change = labeled()
+            store.record_submission(change, at=5.0)
+            assert store.state_of(change.change_id) is ChangeState.PENDING
+            assert store.pending_ids() == [change.change_id]
+
+    def test_decision_updates_state(self):
+        with SubmitQueueStore() as store:
+            change = labeled()
+            store.record_submission(change, at=5.0)
+            store.record_decision(
+                Decision(change.change_id, True, at=35.0, reason="passed")
+            )
+            assert store.state_of(change.change_id) is ChangeState.COMMITTED
+            assert store.pending_ids() == []
+            (decision,) = store.decisions()
+            assert decision.committed and decision.decided_at == 35.0
+
+    def test_unknown_change_state_is_none(self):
+        with SubmitQueueStore() as store:
+            assert store.state_of("nope") is None
+
+    def test_build_key_roundtrip(self):
+        with SubmitQueueStore() as store:
+            key = BuildKey("D1", frozenset({"D0", "D2"}))
+            store.record_build(key, started_at=1.0, success=True, duration=30.0)
+            ((loaded, success),) = store.builds_for("D1")
+            assert loaded == key
+            assert success is True
+
+    def test_aborted_build_recorded(self):
+        with SubmitQueueStore() as store:
+            key = BuildKey("D1")
+            store.record_build(key, started_at=1.0, aborted=True)
+            ((_, success),) = store.builds_for("D1")
+            assert success is None
+
+    def test_throughput(self):
+        with SubmitQueueStore() as store:
+            for index in range(5):
+                change = labeled()
+                store.record_submission(change, at=0.0)
+                store.record_decision(
+                    Decision(change.change_id, True, at=float(index * 30))
+                )
+            # 5 commits over 120 minutes = 2.5/h.
+            assert store.throughput_per_hour() == pytest.approx(2.5)
+
+    def test_pending_order_by_submission_time(self):
+        with SubmitQueueStore() as store:
+            late, early = labeled(), labeled()
+            store.record_submission(late, at=10.0)
+            store.record_submission(early, at=1.0)
+            assert store.pending_ids() == [early.change_id, late.change_id]
+
+
+class TestMirrorWarmStart:
+    def test_warm_start_rebuilds_ledger(self):
+        store = SubmitQueueStore()
+        mirror = PersistentLedgerMirror(store)
+        changes = [labeled() for _ in range(3)]
+        for index, change in enumerate(changes):
+            change.submitted_at = float(index)
+            mirror.on_submit(change, float(index))
+        mirror.on_decision(Decision(changes[0].change_id, True, at=40.0))
+        mirror.on_decision(Decision(changes[1].change_id, False, at=50.0, reason="broken"))
+
+        ledger = mirror.warm_start({c.change_id: c for c in changes})
+        assert ledger.state_of(changes[0].change_id) is ChangeState.COMMITTED
+        assert ledger.state_of(changes[1].change_id) is ChangeState.REJECTED
+        assert changes[2].change_id not in ledger  # still pending, not decided
+        record = ledger.record(changes[1].change_id)
+        assert record.decision_reason == "broken"
+
+    def test_warm_start_skips_unknown_ids(self):
+        store = SubmitQueueStore()
+        mirror = PersistentLedgerMirror(store)
+        change = labeled()
+        mirror.on_submit(change, 0.0)
+        mirror.on_decision(Decision(change.change_id, True, at=10.0))
+        ledger = mirror.warm_start({})
+        assert len(ledger) == 0
+
+
+class TestCoreServiceIntegration:
+    def test_core_service_mirrors_to_store(self, monorepo):
+        from repro.predictor.predictors import StaticPredictor
+        from repro.service.core import CoreService, CoreServiceConfig
+        from repro.strategies.submitqueue import SubmitQueueStrategy
+
+        store = SubmitQueueStore()
+        core = CoreService(
+            repo=monorepo.repo,
+            strategy=SubmitQueueStrategy(StaticPredictor(0.9, 0.1)),
+            config=CoreServiceConfig(workers=4),
+            store=store,
+        )
+        change = monorepo.make_clean_change()
+        core.submit(change)
+        assert store.state_of(change.change_id) is ChangeState.PENDING
+        core.pump()
+        assert store.state_of(change.change_id) is ChangeState.COMMITTED
+        assert len(store.decisions()) == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the union-graph conflict algorithm (section 5.2)."""
+
+import pytest
+
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.loader import load_build_graph
+from repro.conflict.union_graph import UnionGraph, union_graph_conflict
+
+
+@pytest.fixture
+def figure8_base():
+    """The paper's Figure 8: Y depends on X; Z independent."""
+    return {
+        "x/BUILD": "target(name='x', srcs=['x.py'])",
+        "x/x.py": "X",
+        "y/BUILD": "target(name='y', srcs=['y.py'], deps=['//x:x'])",
+        "y/y.py": "Y",
+        "z/BUILD": "target(name='z', srcs=['z.py'])",
+        "z/z.py": "Z",
+    }
+
+
+def _graphs(*snapshots):
+    return [load_build_graph(s) for s in snapshots]
+
+
+class TestUnionGraphAlgorithm:
+    def test_figure8_conflict_detected(self, figure8_base):
+        """C1 edits X (affects X, Y); C2 makes Z depend on Y.
+
+        Affected names are disjoint ({X, Y} vs {Z}) yet the union graph
+        propagates C1's taint through the new Z->Y edge, detecting the
+        interaction — the paper's motivating example for Equation 6.
+        """
+        with_c1 = dict(figure8_base, **{"x/x.py": "X-new"})
+        with_c2 = dict(
+            figure8_base,
+            **{"z/BUILD": "target(name='z', srcs=['z.py'], deps=['//y:y'])"},
+        )
+        base_graph, graph_1, graph_2 = _graphs(figure8_base, with_c1, with_c2)
+        assert union_graph_conflict(
+            figure8_base, base_graph, with_c1, graph_1, with_c2, graph_2
+        )
+
+    def test_disjoint_content_changes_do_not_conflict(self, figure8_base):
+        with_c1 = dict(figure8_base, **{"y/y.py": "Y-new"})
+        with_c2 = dict(figure8_base, **{"z/z.py": "Z-new"})
+        base_graph, graph_1, graph_2 = _graphs(figure8_base, with_c1, with_c2)
+        assert not union_graph_conflict(
+            figure8_base, base_graph, with_c1, graph_1, with_c2, graph_2
+        )
+
+    def test_shared_dependency_chain_conflicts(self, figure8_base):
+        # C1 edits X, C2 edits Y: both taint Y through the X->Y edge.
+        with_c1 = dict(figure8_base, **{"x/x.py": "X-new"})
+        with_c2 = dict(figure8_base, **{"y/y.py": "Y-new"})
+        base_graph, graph_1, graph_2 = _graphs(figure8_base, with_c1, with_c2)
+        assert union_graph_conflict(
+            figure8_base, base_graph, with_c1, graph_1, with_c2, graph_2
+        )
+
+    def test_doubly_affected_names(self, figure8_base):
+        with_c1 = dict(figure8_base, **{"x/x.py": "X-new"})
+        with_c2 = dict(figure8_base, **{"y/y.py": "Y-new"})
+        base_graph, graph_1, graph_2 = _graphs(figure8_base, with_c1, with_c2)
+        union = UnionGraph(
+            base_graph,
+            TargetHasher(base_graph, figure8_base).all_hashes(),
+            graph_1,
+            TargetHasher(graph_1, with_c1).all_hashes(),
+            graph_2,
+            TargetHasher(graph_2, with_c2).all_hashes(),
+        )
+        union.propagate()
+        assert union.doubly_affected() == {"//y:y"}
+
+    def test_added_target_on_both_sides(self, figure8_base):
+        # Both changes add distinct new leaf targets: no interaction.
+        with_c1 = dict(figure8_base)
+        with_c1["a/BUILD"] = "target(name='a', srcs=['a.py'])"
+        with_c1["a/a.py"] = "A"
+        with_c2 = dict(figure8_base)
+        with_c2["b/BUILD"] = "target(name='b', srcs=['b.py'])"
+        with_c2["b/b.py"] = "B"
+        base_graph, graph_1, graph_2 = _graphs(figure8_base, with_c1, with_c2)
+        assert not union_graph_conflict(
+            figure8_base, base_graph, with_c1, graph_1, with_c2, graph_2
+        )
+
+    def test_union_nodes_carry_three_hashes(self, figure8_base):
+        with_c1 = dict(figure8_base, **{"x/x.py": "X-new"})
+        base_graph, graph_1 = _graphs(figure8_base, with_c1)
+        union = UnionGraph(
+            base_graph,
+            TargetHasher(base_graph, figure8_base).all_hashes(),
+            graph_1,
+            TargetHasher(graph_1, with_c1).all_hashes(),
+            base_graph,
+            TargetHasher(base_graph, figure8_base).all_hashes(),
+        )
+        union.propagate()
+        node = union.nodes["//x:x"]
+        assert node.hash_base == node.hash_j
+        assert node.hash_base != node.hash_i
+        assert node.affected_i and not node.affected_j

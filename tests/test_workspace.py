@@ -1,0 +1,97 @@
+"""Unit tests for repro.vcs.workspace."""
+
+import pytest
+
+from repro.errors import UnknownFileError
+from repro.vcs.patch import OpKind, Patch
+from repro.vcs.repository import Repository
+from repro.vcs.workspace import Workspace
+
+
+@pytest.fixture
+def repo():
+    return Repository({"a.py": "a0", "b.py": "b0"})
+
+
+class TestReadsAndEdits:
+    def test_read_through_base(self, repo):
+        ws = Workspace(repo)
+        assert ws.read("a.py") == "a0"
+
+    def test_write_then_read(self, repo):
+        ws = Workspace(repo)
+        ws.write("a.py", "a1")
+        assert ws.read("a.py") == "a1"
+        assert repo.snapshot()["a.py"] == "a0"  # repo untouched
+
+    def test_append_reads_local_edit(self, repo):
+        ws = Workspace(repo)
+        ws.append("a.py", "+1")
+        ws.append("a.py", "+2")
+        assert ws.read("a.py") == "a0+1+2"
+
+    def test_delete_and_exists(self, repo):
+        ws = Workspace(repo)
+        ws.delete("a.py")
+        assert not ws.exists("a.py")
+        with pytest.raises(UnknownFileError):
+            ws.read("a.py")
+
+    def test_delete_missing_raises(self, repo):
+        ws = Workspace(repo)
+        with pytest.raises(UnknownFileError):
+            ws.delete("nope.py")
+
+    def test_revert(self, repo):
+        ws = Workspace(repo)
+        ws.write("a.py", "dirty")
+        ws.revert("a.py")
+        assert ws.read("a.py") == "a0"
+        assert ws.dirty_paths() == set()
+
+
+class TestToPatch:
+    def test_patch_kinds(self, repo):
+        ws = Workspace(repo)
+        ws.write("a.py", "a1")       # modify
+        ws.write("new.py", "n0")     # add
+        ws.delete("b.py")            # delete
+        patch = ws.to_patch()
+        assert patch.op_for("a.py").kind is OpKind.MODIFY
+        assert patch.op_for("a.py").base_content == "a0"
+        assert patch.op_for("new.py").kind is OpKind.ADD
+        assert patch.op_for("b.py").kind is OpKind.DELETE
+
+    def test_identity_edit_omitted(self, repo):
+        ws = Workspace(repo)
+        ws.write("a.py", "a0")  # same content as base
+        assert len(ws.to_patch()) == 0
+
+    def test_add_then_delete_of_new_file_is_noop(self, repo):
+        ws = Workspace(repo)
+        ws.write("new.py", "n")
+        ws.delete("new.py")
+        assert len(ws.to_patch()) == 0
+
+    def test_patch_applies_to_base(self, repo):
+        ws = Workspace(repo)
+        ws.write("a.py", "a1")
+        patch = ws.to_patch()
+        result = patch.apply(repo.snapshot(ws.base_commit))
+        assert result["a.py"] == "a1"
+
+
+class TestStaleness:
+    def test_staleness_counts_mainline_commits(self, repo):
+        ws = Workspace(repo)
+        assert ws.staleness_commits() == 0
+        repo.commit_to_mainline(Patch.modifying({"a.py": "a1"}))
+        repo.commit_to_mainline(Patch.modifying({"a.py": "a2"}))
+        assert ws.staleness_commits() == 2
+
+    def test_rebase_resets_staleness(self, repo):
+        ws = Workspace(repo)
+        repo.commit_to_mainline(Patch.modifying({"a.py": "a1"}))
+        ws.rebase_to_head()
+        assert ws.staleness_commits() == 0
+        assert ws.read("a.py") == "a1"
