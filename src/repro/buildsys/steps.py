@@ -1,0 +1,122 @@
+"""Synthetic build steps driven by in-source directives.
+
+Real compilers and test runners are replaced by two directives planted in
+source content, which is what lets the workload layer mint changes with
+*known* ground truth (section 8's evaluation needs individually-broken and
+really-conflicting changes on demand):
+
+``# FAIL:<step>``
+    The owning target fails exactly that step kind (e.g. ``unit_test``).
+
+``# CONFLICT:<token>``
+    One occurrence visible to a target is harmless; two or more occurrences
+    of the *same* token in its transitive source closure fail its test
+    steps.  A pair of changes each planting one occurrence thus passes
+    individually and fails combined — a real semantic conflict with no
+    textual overlap.
+
+Compile and artifact steps are not conflict-sensitive: a conflict is two
+changes that each build but whose *combination* breaks tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.buildsys.graph import BuildGraph
+from repro.buildsys.target import Target
+from repro.types import Path, StepKind, TargetName
+
+FAIL_DIRECTIVE = re.compile(r"#\s*FAIL:([A-Za-z_]+)")
+CONFLICT_DIRECTIVE = re.compile(r"#\s*CONFLICT:([^\s#]+)")
+
+#: Step kinds that two combined CONFLICT tokens break.
+CONFLICT_SENSITIVE_STEPS = frozenset(
+    {StepKind.UNIT_TEST, StepKind.INTEGRATION_TEST, StepKind.UI_TEST}
+)
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """Identity of one build step: which target, which kind."""
+
+    target: TargetName
+    kind: StepKind
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one step: pass/fail, a log line, and cache provenance."""
+
+    spec: StepSpec
+    passed: bool
+    log: str = ""
+    cached: bool = False
+
+
+def scan_directives(
+    sources: Iterable[str],
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Count FAIL and CONFLICT directives across source contents.
+
+    Returns ``(fails, conflicts)``: step-name -> occurrences and
+    conflict-token -> occurrences.
+    """
+    fails: Dict[str, int] = {}
+    conflicts: Dict[str, int] = {}
+    for text in sources:
+        for match in FAIL_DIRECTIVE.finditer(text):
+            step = match.group(1)
+            fails[step] = fails.get(step, 0) + 1
+        for match in CONFLICT_DIRECTIVE.finditer(text):
+            token = match.group(1)
+            conflicts[token] = conflicts.get(token, 0) + 1
+    return fails, conflicts
+
+
+def _sources(snapshot: Mapping[Path, str], paths: Iterable[Path]) -> list:
+    return [snapshot.get(path, "") for path in paths]
+
+
+def evaluate_step(
+    graph: BuildGraph,
+    target: Target,
+    kind: StepKind,
+    snapshot: Mapping[Path, str],
+) -> StepResult:
+    """Run one synthetic step hermetically against a snapshot.
+
+    FAIL directives act on the target's *own* sources; CONFLICT tokens are
+    counted over the transitive dependency closure, because a conflict
+    between a dependency's change and a dependent's change only surfaces
+    when the dependent's tests see both.
+    """
+    spec = StepSpec(target.name, kind)
+    own_sources = _sources(snapshot, target.srcs)
+    fails, _ = scan_directives(own_sources)
+    if fails.get(kind.value):
+        return StepResult(
+            spec,
+            passed=False,
+            log=f"{target.name} {kind.value}: FAIL:{kind.value} directive present",
+        )
+    if kind in CONFLICT_SENSITIVE_STEPS:
+        closure_paths = list(target.srcs)
+        for dep in sorted(graph.transitive_deps(target.name)):
+            closure_paths.extend(graph.target(dep).srcs)
+        _, conflicts = scan_directives(_sources(snapshot, closure_paths))
+        colliding = sorted(
+            token for token, count in conflicts.items() if count >= 2
+        )
+        if colliding:
+            return StepResult(
+                spec,
+                passed=False,
+                log=(
+                    f"{target.name} {kind.value}: conflicting tokens "
+                    + ", ".join(colliding)
+                ),
+            )
+    return StepResult(spec, passed=True, log=f"{target.name} {kind.value}: ok")

@@ -1,0 +1,139 @@
+"""Property tests for the section-5.1 hash-stability invariants.
+
+The conflict analyzer is only sound if Algorithm-1 hashes behave like
+perfect input fingerprints:
+
+* touching anything *outside* a target's transitive closure — renaming an
+  unrelated file, editing a non-dependency's source, adding unrelated
+  files — never changes the target's hash;
+* editing the content of *any* transitive dependency's source always does.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buildsys.graph import BuildGraph
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.loader import load_build_graph
+from repro.buildsys.target import Target
+
+
+@st.composite
+def graph_and_files(draw):
+    """A random layered DAG plus a source snapshot (with stray files)."""
+    layer_sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=4)
+    )
+    targets = []
+    files = {}
+    previous_layer = []
+    for layer_index, size in enumerate(layer_sizes):
+        current = []
+        for slot in range(size):
+            name = f"//l{layer_index}:t{slot}"
+            src = f"l{layer_index}/t{slot}.py"
+            files[src] = draw(
+                st.text(alphabet=string.ascii_letters, max_size=12)
+            )
+            deps = ()
+            if previous_layer:
+                picks = draw(
+                    st.lists(
+                        st.sampled_from(previous_layer), max_size=2, unique=True
+                    )
+                )
+                deps = tuple(sorted(picks))
+            targets.append(Target(name, srcs=(src,), deps=deps))
+            current.append(name)
+        previous_layer = current
+    # Stray files no target owns: renaming/editing them must be invisible.
+    files["stray/readme.txt"] = "stray"
+    graph = BuildGraph(targets)
+    graph.validate()
+    return graph, files
+
+
+class TestClosureOutsideIsInvisible:
+    @given(graph_and_files(), st.data())
+    @settings(max_examples=60)
+    def test_renaming_an_unowned_file_never_changes_any_hash(
+        self, graph_and_files_pair, data
+    ):
+        graph, files = graph_and_files_pair
+        before = TargetHasher(graph, files).all_hashes()
+        renamed = dict(files)
+        renamed["stray/renamed.txt"] = renamed.pop("stray/readme.txt")
+        after = TargetHasher(graph, renamed).all_hashes()
+        assert before == after
+
+    @given(graph_and_files(), st.data())
+    @settings(max_examples=60)
+    def test_editing_a_non_dependency_never_changes_the_hash(
+        self, graph_and_files_pair, data
+    ):
+        graph, files = graph_and_files_pair
+        names = sorted(target.name for target in graph)
+        observed = data.draw(st.sampled_from(names), label="observed target")
+        closure = {observed} | graph.transitive_deps(observed)
+        outside = sorted(set(names) - closure)
+        if not outside:
+            return
+        edited = data.draw(st.sampled_from(outside), label="edited non-dep")
+        src = graph.target(edited).srcs[0]
+        changed = dict(files, **{src: files[src] + "#edit"})
+        before = TargetHasher(graph, files).hash_of(observed)
+        after = TargetHasher(graph, changed).hash_of(observed)
+        assert before == after
+
+    @given(graph_and_files())
+    @settings(max_examples=40)
+    def test_adding_unrelated_files_never_changes_any_hash(
+        self, graph_and_files_pair
+    ):
+        graph, files = graph_and_files_pair
+        before = TargetHasher(graph, files).all_hashes()
+        grown = dict(files, **{"docs/notes.md": "unowned", "extra.cfg": "x"})
+        after = TargetHasher(graph, grown).all_hashes()
+        assert before == after
+
+
+class TestClosureInsideAlwaysRipples:
+    @given(graph_and_files(), st.data())
+    @settings(max_examples=60)
+    def test_editing_any_transitive_dep_always_changes_the_hash(
+        self, graph_and_files_pair, data
+    ):
+        graph, files = graph_and_files_pair
+        names = sorted(target.name for target in graph)
+        observed = data.draw(st.sampled_from(names), label="observed target")
+        closure = sorted({observed} | graph.transitive_deps(observed))
+        edited = data.draw(st.sampled_from(closure), label="edited dep")
+        src = graph.target(edited).srcs[0]
+        changed = dict(files, **{src: files[src] + "#edit"})
+        before = TargetHasher(graph, files).hash_of(observed)
+        after = TargetHasher(graph, changed).hash_of(observed)
+        assert before != after
+
+
+class TestLoadedGraphsAgree:
+    def test_build_file_route_matches_direct_construction(self):
+        """Hashes must not depend on how the graph was constructed."""
+        snapshot = {
+            "a/BUILD": "target(name='a', srcs=['a.py'])",
+            "a/a.py": "A",
+            "b/BUILD": "target(name='b', srcs=['b.py'], deps=['//a:a'])",
+            "b/b.py": "B",
+        }
+        loaded = load_build_graph(snapshot)
+        direct = BuildGraph(
+            [
+                Target("//a:a", srcs=("a/a.py",)),
+                Target("//b:b", srcs=("b/b.py",), deps=("//a:a",)),
+            ]
+        )
+        assert (
+            TargetHasher(loaded, snapshot).all_hashes()
+            == TargetHasher(direct, snapshot).all_hashes()
+        )
