@@ -12,7 +12,9 @@ so EXPERIMENTS.md can reference the latest run.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 
 import pytest
 
@@ -22,6 +24,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: (pytest captures ordinary prints; the summary is always visible).
 _EMITTED = []
 
+#: Machine-readable conflict-analysis datapoints recorded this session,
+#: written to ``benchmarks/results/BENCH_conflict.json`` at session end so
+#: the incremental-path perf trajectory is tracked across commits.
+_CONFLICT_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -30,6 +37,25 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     _EMITTED.append(text)
+
+
+def record_conflict_bench(key: str, payload: dict) -> None:
+    """Record one conflict-benchmark datapoint for BENCH_conflict.json."""
+    _CONFLICT_BENCH[key] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _CONFLICT_BENCH:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    document = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": _CONFLICT_BENCH,
+    }
+    (RESULTS_DIR / "BENCH_conflict.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -9,7 +9,7 @@ workers.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_conflict_bench
 from repro.experiments import figure13
 
 WORKERS = (100, 300)
@@ -46,6 +46,68 @@ def test_reproduces_figure13_shape(result):
         assert optimistic < 0.45
     # "Up to" 60%: the most contended cell shows the biggest win.
     assert result.improvement["Oracle"][(300, WORKERS[0])] > 0.3
+
+
+def test_incremental_analyzer_counters():
+    """Surface the carry-over effectiveness counters (section 5.2 at scale).
+
+    Drives a real ConflictAnalyzer through a pending set and several
+    mainline advances, then emits how much hashing and re-analysis the
+    incremental machinery avoided.
+    """
+    from repro.conflict.analyzer import ConflictAnalyzer
+    from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+    mono = SyntheticMonorepo(MonorepoSpec(layers=(6, 12, 24), fan_in=2), seed=9)
+    analyzer = ConflictAnalyzer(mono.repo.snapshot().to_dict())
+    pending = [mono.make_clean_change() for _ in range(12)]
+    for change in pending:
+        analyzer.analyze(change)
+    for i, first in enumerate(pending):
+        for second in pending[i + 1:]:
+            analyzer.conflict(first, second)
+
+    # Commit four of the pending changes one by one, advancing the
+    # analyzer across each mainline move instead of rebuilding it.
+    for change in pending[:4]:
+        mono.repo.commit_to_mainline(change.patch)
+        analyzer.forget(change.change_id)
+        analyzer.advance_base(
+            mono.repo.snapshot().to_dict(), change.patch.paths
+        )
+
+    stats = analyzer.stats
+    emit(
+        "fig13_incremental_stats",
+        "fig13 conflict analyzer: incremental effectiveness\n"
+        f"  analyses              {stats.analyses}\n"
+        f"  targets rehashed      {stats.targets_rehashed} / {stats.targets_total}"
+        f" ({stats.rehash_fraction:.1%})\n"
+        f"  head advances         {stats.head_advances}\n"
+        f"  analyses revalidated  {stats.analyses_revalidated}\n"
+        f"  analyses recomputed   {stats.analyses_recomputed}"
+        f" (revalidation rate {stats.revalidation_rate:.1%})\n"
+        f"  pair checks           {stats.checks} ({stats.fast_path_rate:.1%} fast path,"
+        f" {stats.cached} cached)",
+    )
+    record_conflict_bench(
+        "fig13_incremental_counters",
+        {
+            "analyses": stats.analyses,
+            "targets_rehashed": stats.targets_rehashed,
+            "targets_total": stats.targets_total,
+            "rehash_fraction": stats.rehash_fraction,
+            "head_advances": stats.head_advances,
+            "analyses_revalidated": stats.analyses_revalidated,
+            "analyses_recomputed": stats.analyses_recomputed,
+        },
+    )
+    # Dirty-set hashing must be doing real work: far fewer hashes than a
+    # from-scratch analyzer would compute, and at least some carried
+    # analyses surviving the advances.
+    assert stats.rehash_fraction < 0.6
+    assert stats.analyses_revalidated > 0
+    assert stats.head_advances == 4
 
 
 def test_benchmark_analyzer_off_cell(benchmark, result):

@@ -50,6 +50,24 @@ def affected_targets(
     )
 
 
+def delta_from_dirty(
+    base_hashes: Mapping[TargetName, str],
+    hashes: Mapping[TargetName, str],
+    dirty_closure: Set[TargetName],
+) -> Delta:
+    """``δ`` when only ``dirty_closure`` targets could have changed.
+
+    Equivalent to diffing the full hash maps — targets outside the closure
+    carry their seed hash verbatim, so they can never differ — but costs
+    O(closure) instead of O(graph).
+    """
+    return frozenset(
+        AffectedTarget(name, hashes[name])
+        for name in dirty_closure
+        if name in hashes and base_hashes.get(name) != hashes[name]
+    )
+
+
 def delta_names(delta: Delta) -> Set[TargetName]:
     """Just the target names of a delta (the fast-path comparand)."""
     return {item.name for item in delta}

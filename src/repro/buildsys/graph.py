@@ -23,6 +23,7 @@ class BuildGraph:
     def __init__(self, targets: Iterable[Target] = ()) -> None:
         self._targets: Dict[TargetName, Target] = {}
         self._dependents: Dict[TargetName, Set[TargetName]] = {}
+        self._owners: Dict[Path, Set[TargetName]] = {}
         for target in targets:
             self.add_target(target)
 
@@ -36,6 +37,8 @@ class BuildGraph:
         self._dependents.setdefault(target.name, set())
         for dep in target.deps:
             self._dependents.setdefault(dep, set()).add(target.name)
+        for src in target.srcs:
+            self._owners.setdefault(src, set()).add(target.name)
 
     def target(self, name: TargetName) -> Target:
         try:
@@ -139,8 +142,37 @@ class BuildGraph:
         return set(self._dependents.get(name, ()))
 
     def targets_owning(self, path: Path) -> Set[TargetName]:
-        """Targets listing ``path`` among their sources."""
-        return {target.name for target in self if path in target.srcs}
+        """Targets listing ``path`` among their sources (indexed, O(1))."""
+        return set(self._owners.get(path, ()))
+
+    def induced_order(self, names: Iterable[TargetName]) -> List[TargetName]:
+        """Dependencies-first order of the subgraph induced by ``names``.
+
+        Edges to targets outside ``names`` are ignored (the caller already
+        knows their hashes/results).  Deterministic like
+        :meth:`topological_order`; raises :class:`DependencyCycleError` when
+        the induced subgraph is cyclic.
+        """
+        member = {name for name in names if name in self._targets}
+        in_degree: Dict[TargetName, int] = {}
+        for name in member:
+            in_degree[name] = sum(
+                1 for dep in self._targets[name].deps if dep in member
+            )
+        queue = deque(sorted(n for n, degree in in_degree.items() if degree == 0))
+        order: List[TargetName] = []
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            for dependent in sorted(self._dependents.get(name, ())):
+                if dependent not in member:
+                    continue
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    queue.append(dependent)
+        if len(order) != len(member):
+            raise DependencyCycleError(sorted(member - set(order)))
+        return order
 
     # -- structure ---------------------------------------------------------
 

@@ -15,7 +15,7 @@ malformed input raises :class:`repro.errors.BuildFileError`.
 from __future__ import annotations
 
 import ast
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.buildsys.graph import BuildGraph
 from repro.buildsys.target import Target
@@ -149,6 +149,49 @@ def build_file_package(path: Path) -> Optional[str]:
     """The package a snapshot path declares, or None for non-BUILD paths."""
     package, _, basename = path.rpartition("/")
     return package if basename == BUILD_FILE_NAME else None
+
+
+def reload_packages(
+    base_graph: BuildGraph,
+    snapshot: Mapping[Path, str],
+    touched_paths: Iterable[Path],
+) -> BuildGraph:
+    """Splice re-parsed packages into a structurally-shared graph.
+
+    Only BUILD files among ``touched_paths`` are re-parsed from
+    ``snapshot``; every other package's :class:`Target` objects are shared
+    with ``base_graph`` (identity-shared, which :func:`~repro.buildsys.hashing.dirty_targets`
+    exploits).  Handles packages being added (new BUILD file), rewritten,
+    and deleted (BUILD file gone from ``snapshot``).
+
+    When no touched path is a BUILD file the graph cannot have changed and
+    ``base_graph`` itself is returned.  Like :func:`load_build_graph`, the
+    result is validated; the caller's ``touched_paths`` must cover every
+    path that differs between ``base_graph``'s snapshot and ``snapshot``.
+    """
+    touched_packages = {
+        package
+        for package in (build_file_package(path) for path in touched_paths)
+        if package is not None
+    }
+    if not touched_packages:
+        return base_graph
+    graph = BuildGraph()
+    for target in base_graph:
+        if target.package not in touched_packages:
+            graph.add_target(target)
+    for package in sorted(touched_packages):
+        build_path = f"{package}/{BUILD_FILE_NAME}" if package else BUILD_FILE_NAME
+        content = snapshot.get(build_path)
+        if content is None:
+            continue  # package deleted
+        for target in parse_build_file(package, content):
+            try:
+                graph.add_target(target)
+            except ValueError as exc:
+                raise BuildFileError(str(exc)) from None
+    graph.validate()
+    return graph
 
 
 def load_build_graph(snapshot: Mapping[Path, str]) -> BuildGraph:

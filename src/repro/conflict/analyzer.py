@@ -1,4 +1,4 @@
-"""The conflict analyzer (paper section 5.2).
+"""The conflict analyzer (paper section 5.2), incremental end-to-end.
 
 Given a base snapshot (the mainline HEAD) and pending changes with
 patches, decides pairwise *potential* conflicts:
@@ -11,9 +11,18 @@ patches, decides pairwise *potential* conflicts:
 * an **exact mode** implementing Equation 6 directly (builds the combined
   graph ``G_{H⊕Ci⊕Cj}``) is kept for cross-validation in tests.
 
-Per-change deltas, graphs and hashes are cached; pairwise verdicts are
-cached symmetrically.  The analyzer is deliberately stateless about *which*
-changes are pending — the conflict graph layer handles that.
+Per-change analysis is incremental: patches are applied as copy-on-write
+:class:`~repro.vcs.patch.SnapshotOverlay` views, BUILD files are re-parsed
+only for touched packages (:func:`~repro.buildsys.loader.reload_packages`),
+and hashing reuses the base hash map for everything outside the touched
+targets' reverse-dependency closure (dirty-set hashing).
+
+The analyzer also *carries over* across mainline advances instead of being
+rebuilt: :meth:`ConflictAnalyzer.advance_base` rehashes the base
+incrementally and revalidates cached per-change analyses that provably
+cannot have changed (see the method's invariants).  :meth:`ConflictAnalyzer.forget`
+evicts committed/aborted changes so the per-change and pair caches cannot
+grow unboundedly.
 
 :class:`LabelConflictAnalyzer` is the label-mode twin used by the big
 simulation sweeps: it reads affected-target names off ground-truth labels
@@ -22,28 +31,41 @@ instead of running the build system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
-from repro.buildsys.delta import delta_names, equation6_conflict
+from repro.buildsys.delta import delta_from_dirty, delta_names, equation6_conflict
 from repro.buildsys.graph import BuildGraph
-from repro.buildsys.hashing import TargetHasher
-from repro.buildsys.loader import load_build_graph
+from repro.buildsys.hashing import TargetHasher, dirty_targets
+from repro.buildsys.loader import load_build_graph, reload_packages
 from repro.changes.change import Change
 from repro.conflict.union_graph import UnionGraph
 from repro.errors import PatchConflictError
 from repro.types import AffectedTarget, ChangeId, Path, TargetName
-from repro.vcs.patch import three_way_conflicts
+from repro.vcs.patch import Patch, three_way_conflicts
 
 
 @dataclass
 class ConflictAnalyzerStats:
-    """Counters for fast/slow path usage, exposed for section-5.2 benches."""
+    """Counters for fast/slow path usage and incremental effectiveness.
+
+    The first four feed the section-5.2 benches; the incremental group
+    records how much work dirty-set hashing and carry-over actually saved
+    (``targets_rehashed`` out of ``targets_total`` per analysis, cached
+    analyses ``analyses_revalidated`` vs ``analyses_recomputed`` across
+    head advances).
+    """
 
     fast_path: int = 0
     slow_path: int = 0
     textual: int = 0
     cached: int = 0
+    analyses: int = 0
+    targets_rehashed: int = 0
+    targets_total: int = 0
+    head_advances: int = 0
+    analyses_revalidated: int = 0
+    analyses_recomputed: int = 0
 
     @property
     def checks(self) -> int:
@@ -53,11 +75,27 @@ class ConflictAnalyzerStats:
     def fast_path_rate(self) -> float:
         return self.fast_path / self.checks if self.checks else 0.0
 
+    @property
+    def rehash_fraction(self) -> float:
+        """Fraction of target hashes recomputed rather than reused."""
+        return (
+            self.targets_rehashed / self.targets_total
+            if self.targets_total
+            else 0.0
+        )
+
+    @property
+    def revalidation_rate(self) -> float:
+        total = self.analyses_revalidated + self.analyses_recomputed
+        return self.analyses_revalidated / total if total else 0.0
+
 
 @dataclass
 class _ChangeAnalysis:
     """Cached per-change artifacts against one base snapshot."""
 
+    patch: Patch
+    touched: FrozenSet[Path]
     snapshot: Mapping[Path, str]
     graph: BuildGraph
     hashes: Dict[TargetName, str]
@@ -81,30 +119,49 @@ class ConflictAnalyzer:
     # -- per-change analysis ------------------------------------------------
 
     def analyze(self, change: Change) -> _ChangeAnalysis:
-        """Compute (and cache) the change's snapshot, graph, and delta."""
+        """Compute (and cache) the change's snapshot, graph, and delta.
+
+        Incremental: the snapshot is an overlay over the base, only touched
+        packages' BUILD files are re-parsed, and only the touched targets'
+        reverse-dependency closure is rehashed.
+        """
         cached = self._per_change.get(change.change_id)
         if cached is not None:
             return cached
         if change.patch is None:
             raise ValueError(f"change {change.change_id} carries no patch")
-        snapshot = change.patch.apply(self._base_snapshot)
-        graph = load_build_graph(snapshot)
-        hasher = TargetHasher(graph, snapshot)
-        hashes = hasher.all_hashes()
-        delta = frozenset(
-            AffectedTarget(name, digest)
-            for name, digest in hashes.items()
-            if self._base_hashes.get(name) != digest
+        analysis = self._analyze_patch(change.patch)
+        self._per_change[change.change_id] = analysis
+        return analysis
+
+    def _analyze_patch(self, patch: Patch) -> _ChangeAnalysis:
+        touched = frozenset(patch.paths)
+        snapshot = patch.apply(self._base_snapshot)
+        # reload_packages returns the base graph object untouched when no
+        # BUILD file is in the patch — the ~92-98% content-only case.
+        graph = reload_packages(self._base_graph, snapshot, touched)
+        seeds = dirty_targets(self._base_graph, graph, touched)
+        hasher = TargetHasher(
+            graph, snapshot, seed_hashes=self._base_hashes, dirty=seeds
         )
-        analysis = _ChangeAnalysis(
+        hashes = hasher.all_hashes()
+        delta = delta_from_dirty(self._base_hashes, hashes, hasher.dirty_closure)
+        structure_changed = (
+            graph is not self._base_graph
+            and graph.structure() != self._base_structure
+        )
+        self.stats.analyses += 1
+        self.stats.targets_rehashed += hasher.computed
+        self.stats.targets_total += len(graph)
+        return _ChangeAnalysis(
+            patch=patch,
+            touched=touched,
             snapshot=snapshot,
             graph=graph,
             hashes=hashes,
             delta=delta,
-            structure_changed=graph.structure() != self._base_structure,
+            structure_changed=structure_changed,
         )
-        self._per_change[change.change_id] = analysis
-        return analysis
 
     def affected_targets(self, change: Change) -> FrozenSet[AffectedTarget]:
         """The paper's ``δ_{H⊕C}`` for one change."""
@@ -113,6 +170,134 @@ class ConflictAnalyzer:
     def changes_build_graph(self, change: Change) -> bool:
         """Whether the change alters build-graph structure (section 5.2)."""
         return self.analyze(change).structure_changed
+
+    # -- cache lifecycle ------------------------------------------------------
+
+    def forget(self, change_id: ChangeId) -> None:
+        """Evict one change's cached analysis and pairwise verdicts.
+
+        Call when a change leaves the pending set (committed, rejected, or
+        aborted); without eviction the pair cache grows with every change
+        ever analyzed.
+        """
+        self._per_change.pop(change_id, None)
+        for key in [k for k in self._pair_cache if change_id in k]:
+            del self._pair_cache[key]
+
+    def cached_change_ids(self) -> FrozenSet[ChangeId]:
+        """Change ids with a live cached analysis (for tests/monitoring)."""
+        return frozenset(self._per_change)
+
+    def advance_base(
+        self,
+        new_snapshot: Mapping[Path, str],
+        committed_paths: Optional[Iterable[Path]] = None,
+    ) -> None:
+        """Move the analyzer's base to a new mainline HEAD, carrying caches.
+
+        ``committed_paths`` is every path that differs between the old and
+        new base (the union of the committed patches' paths).  When it is
+        unknown (``None``) the analyzer falls back to a from-scratch
+        rebuild.
+
+        The base graph and hash map are themselves advanced incrementally.
+        A cached per-change analysis is **revalidated** (kept, with its
+        hash map rebased onto the new base) only when all four invariants
+        hold; otherwise it is dropped and recomputed lazily on next use:
+
+        1. the committed delta touches no BUILD file (non-structural
+           commit) — otherwise new targets may depend into a cached delta
+           without tripping invariant 4;
+        2. the cached analysis is itself non-structural, so its affected
+           targets exist base-side with identical dependency closures;
+        3. the change's touched paths are disjoint from the committed
+           paths (its patch still applies, with identical content);
+        4. the change's affected-target names are disjoint from the
+           commit's affected closure — with 1–3 this makes every cached
+           delta digest provably identical against the new base.
+
+        Pairwise verdicts survive only when both sides were revalidated.
+        """
+        self.stats.head_advances += 1
+        if committed_paths is None:
+            self._rebuild(new_snapshot)
+            return
+        committed = frozenset(committed_paths)
+        new_graph = reload_packages(self._base_graph, new_snapshot, committed)
+        seeds = dirty_targets(self._base_graph, new_graph, committed)
+        hasher = TargetHasher(
+            new_graph, new_snapshot, seed_hashes=self._base_hashes, dirty=seeds
+        )
+        new_hashes = hasher.all_hashes()
+        self.stats.targets_rehashed += hasher.computed
+        self.stats.targets_total += len(new_graph)
+        commit_affected = delta_names(
+            delta_from_dirty(self._base_hashes, new_hashes, hasher.dirty_closure)
+        )
+        structural_commit = new_graph is not self._base_graph
+
+        survivors: Dict[ChangeId, _ChangeAnalysis] = {}
+        if not structural_commit:
+            for change_id, analysis in self._per_change.items():
+                if (
+                    analysis.structure_changed
+                    or not analysis.touched.isdisjoint(committed)
+                    or not delta_names(analysis.delta).isdisjoint(commit_affected)
+                ):
+                    continue
+                survivors[change_id] = self._rebase_analysis(
+                    analysis, new_snapshot, new_hashes
+                )
+        self.stats.analyses_revalidated += len(survivors)
+        self.stats.analyses_recomputed += len(self._per_change) - len(survivors)
+
+        self._pair_cache = {
+            key: verdict
+            for key, verdict in self._pair_cache.items()
+            if key[0] in survivors and key[1] in survivors
+        }
+        self._per_change = survivors
+        self._base_snapshot = new_snapshot
+        self._base_graph = new_graph
+        self._base_hashes = new_hashes
+        if structural_commit:
+            self._base_structure = new_graph.structure()
+
+    def _rebase_analysis(
+        self,
+        analysis: _ChangeAnalysis,
+        new_snapshot: Mapping[Path, str],
+        new_base_hashes: Mapping[TargetName, str],
+    ) -> _ChangeAnalysis:
+        """Rebase a revalidated analysis onto the new base.
+
+        Targets outside the cached delta now hash as the new base does;
+        delta targets keep their cached digests (invariants 1–4 make both
+        facts exact, not approximations).
+        """
+        hashes = dict(new_base_hashes)
+        for item in analysis.delta:
+            hashes[item.name] = item.digest
+        return _ChangeAnalysis(
+            patch=analysis.patch,
+            touched=analysis.touched,
+            snapshot=analysis.patch.apply(new_snapshot),
+            graph=self._base_graph,
+            hashes=hashes,
+            delta=analysis.delta,
+            structure_changed=False,
+        )
+
+    def _rebuild(self, new_snapshot: Mapping[Path, str]) -> None:
+        self.stats.analyses_recomputed += len(self._per_change)
+        self._base_snapshot = new_snapshot
+        self._base_graph = load_build_graph(new_snapshot)
+        self._base_hashes = TargetHasher(
+            self._base_graph, new_snapshot
+        ).all_hashes()
+        self._base_structure = self._base_graph.structure()
+        self._per_change = {}
+        self._pair_cache = {}
 
     # -- pairwise conflicts ---------------------------------------------------
 

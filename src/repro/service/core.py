@@ -14,7 +14,7 @@ mainline and the mainline is verifiably green after every pump.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.changes.change import Change
 from repro.conflict.analyzer import ConflictAnalyzer
@@ -35,9 +35,13 @@ class CoreServiceConfig:
 
     workers: int = 8
     max_pump_minutes: float = 60.0 * 24 * 30
-    #: Rebuild the conflict analyzer after every mainline commit (the
+    #: Refresh the conflict analyzer after every mainline commit (the
     #: analyzer is pinned to a HEAD snapshot).
     refresh_analyzer_on_commit: bool = True
+    #: Advance the analyzer incrementally across commits (carry over cached
+    #: per-change analyses whose validity is unaffected by the committed
+    #: delta) instead of rebuilding it from scratch.
+    incremental_analyzer: bool = True
 
 
 class CoreService:
@@ -84,11 +88,29 @@ class CoreService:
 
     def _maybe_refresh_analyzer(self) -> None:
         if (
-            self.config.refresh_analyzer_on_commit
-            and self.repo.head() != self._head_at_analyzer
+            not self.config.refresh_analyzer_on_commit
+            or self.repo.head() == self._head_at_analyzer
         ):
-            self._analyzer = ConflictAnalyzer(self.repo.snapshot().to_dict())
-            self._head_at_analyzer = self.repo.head()
+            return
+        committed_paths = (
+            self._committed_paths_since(self._head_at_analyzer)
+            if self.config.incremental_analyzer
+            else None
+        )
+        # Unknown paths (incremental disabled, or old head not an ancestor
+        # of the new one) degrade to a from-scratch rebuild inside
+        # advance_base; known paths carry cached analyses over.
+        self._analyzer.advance_base(self.repo.snapshot().to_dict(), committed_paths)
+        self._head_at_analyzer = self.repo.head()
+
+    def _committed_paths_since(self, old_head) -> Optional[Set[str]]:
+        """Union of paths touched by mainline commits after ``old_head``."""
+        paths: Set[str] = set()
+        for commit_id in self.repo.ancestors(self.repo.head()):
+            if commit_id == old_head:
+                return paths
+            paths.update(self.repo.commit(commit_id).delta)
+        return None  # old head is not an ancestor of the new head
 
     @property
     def analyzer(self) -> ConflictAnalyzer:
@@ -124,8 +146,11 @@ class CoreService:
             key = handle.payload
             self._completion_handles.pop(key, None)
             new_decisions = self.planner.complete(key, self.clock.now)
-            if self._store_mirror is not None:
-                for decision in new_decisions:
+            for decision in new_decisions:
+                # Decided changes leave the pending set; evict them so the
+                # analyzer's per-change and pair caches stay bounded.
+                self._analyzer.forget(decision.change_id)
+                if self._store_mirror is not None:
                     self._store_mirror.on_decision(decision)
             decisions.extend(new_decisions)
             self._replan()

@@ -20,6 +20,81 @@ from repro.errors import PatchConflictError
 from repro.types import Path
 
 
+class SnapshotOverlay(Mapping[Path, str]):
+    """A copy-on-write view: a patch's delta layered over a base snapshot.
+
+    Applying a patch to a million-file monorepo snapshot must not copy the
+    whole file dict (section 7.1's scalability requirement); the overlay
+    stores only the delta and delegates everything else to the base, which
+    may itself be a plain dict, a :class:`repro.vcs.repository.Snapshot`,
+    or another overlay (chains stay shallow in practice — one layer per
+    stacked patch).
+
+    The view is immutable.  Iteration and ``len`` memoize the effective key
+    set on first use; equality compares item-by-item against any mapping so
+    overlays remain interchangeable with the dicts they replaced.
+    """
+
+    __slots__ = ("_base", "_delta", "_keys")
+
+    def __init__(self, base: Mapping[Path, str],
+                 delta: Mapping[Path, Optional[str]]) -> None:
+        self._base = base
+        self._delta = dict(delta)
+        self._keys: Optional[List[Path]] = None
+
+    def __getitem__(self, path: Path) -> str:
+        if path in self._delta:
+            content = self._delta[path]
+            if content is None:
+                raise KeyError(path)
+            return content
+        return self._base[path]
+
+    def get(self, path: Path, default=None):
+        try:
+            return self[path]
+        except KeyError:
+            return default
+
+    def _effective_keys(self) -> List[Path]:
+        if self._keys is None:
+            keys = [p for p in self._base if p not in self._delta]
+            keys.extend(p for p, content in self._delta.items()
+                        if content is not None)
+            self._keys = keys
+        return self._keys
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._effective_keys())
+
+    def __len__(self) -> int:
+        return len(self._effective_keys())
+
+    def __contains__(self, path: object) -> bool:
+        if path in self._delta:
+            return self._delta[path] is not None  # type: ignore[index]
+        return path in self._base
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(other.get(path) == self[path] for path in self)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return f"SnapshotOverlay({len(self._delta)} delta paths over {type(self._base).__name__})"
+
+    def to_dict(self) -> Dict[Path, str]:
+        """A plain-dict copy of the effective snapshot."""
+        return {path: self[path] for path in self}
+
+
 class OpKind(enum.Enum):
     """Kind of file operation inside a patch."""
 
@@ -145,20 +220,15 @@ class Patch:
             ):
                 raise PatchConflictError(op.path, "base content diverged")
 
-    def apply(self, snapshot: Mapping[Path, str]) -> Dict[Path, str]:
-        """Return a new snapshot with this patch applied.
+    def apply(self, snapshot: Mapping[Path, str]) -> SnapshotOverlay:
+        """Return a new snapshot view with this patch applied.
 
-        Raises :class:`PatchConflictError` when :meth:`check_applies` would.
+        The result is a :class:`SnapshotOverlay` sharing ``snapshot``'s
+        storage — O(patch size), not O(repo size).  Raises
+        :class:`PatchConflictError` when :meth:`check_applies` would.
         """
         self.check_applies(snapshot)
-        result = dict(snapshot)
-        for op in self._ops.values():
-            if op.kind is OpKind.DELETE:
-                result.pop(op.path, None)
-            else:
-                assert op.content is not None
-                result[op.path] = op.content
-        return result
+        return SnapshotOverlay(snapshot, self.delta())
 
     def delta(self) -> Dict[Path, Optional[str]]:
         """Mapping of path to post-image (``None`` means deleted)."""

@@ -1,0 +1,302 @@
+"""Unit tests for the incremental conflict-analysis machinery.
+
+Covers the copy-on-write snapshot overlay, package-granular graph
+reloading, dirty-set seeded hashing, the ancestor-chain ``hash_of`` fix,
+and the analyzer's carry-over across mainline advances (revalidation,
+recomputation, and ``forget`` eviction).
+"""
+
+import pytest
+
+from repro.buildsys.hashing import TargetHasher, dirty_targets, incremental_hashes
+from repro.buildsys.loader import load_build_graph, reload_packages
+from repro.changes.change import Change, Developer, next_change_id
+from repro.conflict.analyzer import ConflictAnalyzer
+from repro.errors import UnknownTargetError
+from repro.vcs.patch import Patch, SnapshotOverlay
+
+DEV = Developer("dev1")
+
+
+def _change(patch):
+    return Change(
+        change_id=next_change_id(),
+        revision_id="R1",
+        developer=DEV,
+        patch=patch,
+        base_commit=None,
+    )
+
+
+def modify(snapshot, path, content):
+    return Patch.modifying({path: content}, base={path: snapshot[path]})
+
+
+class TestSnapshotOverlay:
+    def test_apply_returns_overlay_not_copy(self, tiny_snapshot):
+        patch = modify(tiny_snapshot, "lib/lib.py", "LIB = 99\n")
+        result = patch.apply(tiny_snapshot)
+        assert isinstance(result, SnapshotOverlay)
+        assert result["lib/lib.py"] == "LIB = 99\n"
+        assert result["base/base.py"] == tiny_snapshot["base/base.py"]
+        # The base dict was not duplicated or mutated.
+        assert tiny_snapshot["lib/lib.py"] == "LIB = 2\n"
+
+    def test_overlay_handles_delete_and_add(self, tiny_snapshot):
+        patch = Patch.deleting(["tool/tool.py"])
+        result = patch.apply(tiny_snapshot)
+        assert "tool/tool.py" not in result
+        assert result.get("tool/tool.py") is None
+        with pytest.raises(KeyError):
+            result["tool/tool.py"]
+        assert len(result) == len(tiny_snapshot) - 1
+
+        added = Patch.adding({"new/file.py": "x\n"}).apply(tiny_snapshot)
+        assert "new/file.py" in added
+        assert len(added) == len(tiny_snapshot) + 1
+        assert set(added) == set(tiny_snapshot) | {"new/file.py"}
+
+    def test_overlay_equality_with_plain_dicts(self, tiny_snapshot):
+        patch = modify(tiny_snapshot, "app/app.py", "APP = 7\n")
+        expected = dict(tiny_snapshot)
+        expected["app/app.py"] = "APP = 7\n"
+        result = patch.apply(tiny_snapshot)
+        assert result == expected
+        assert expected == result.to_dict()
+        assert result != tiny_snapshot
+
+    def test_overlays_chain(self, tiny_snapshot):
+        first = modify(tiny_snapshot, "app/app.py", "APP = 7\n")
+        layered = first.apply(tiny_snapshot)
+        second = Patch.modifying({"tool/tool.py": "TOOL = 8\n"})
+        twice = second.apply(layered)
+        assert twice["app/app.py"] == "APP = 7\n"
+        assert twice["tool/tool.py"] == "TOOL = 8\n"
+        assert twice["base/base.py"] == tiny_snapshot["base/base.py"]
+
+
+class TestReloadPackages:
+    def test_content_only_touch_returns_same_graph(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        reloaded = reload_packages(graph, tiny_snapshot, ["lib/lib.py"])
+        assert reloaded is graph
+
+    def test_touched_package_reparsed_others_shared(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        snapshot = dict(tiny_snapshot)
+        snapshot["lib/BUILD"] = (
+            "target(name = 'lib', srcs = ['lib.py', 'util.py'],"
+            " deps = ['//base:base'])\n"
+        )
+        snapshot["lib/util.py"] = "U = 1\n"
+        reloaded = reload_packages(
+            graph, snapshot, ["lib/BUILD", "lib/util.py"]
+        )
+        assert reloaded is not graph
+        assert reloaded.target("//lib:lib").srcs == ("lib/lib.py", "lib/util.py")
+        # Untouched packages share Target objects with the base graph.
+        assert reloaded.target("//app:app") is graph.target("//app:app")
+        assert reloaded.target("//base:base") is graph.target("//base:base")
+        # And the whole thing equals a from-scratch load.
+        fresh = load_build_graph(snapshot)
+        assert reloaded.structure() == fresh.structure()
+
+    def test_deleted_build_file_drops_package(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        snapshot = dict(tiny_snapshot)
+        del snapshot["tool/BUILD"]
+        del snapshot["tool/tool.py"]
+        reloaded = reload_packages(
+            graph, snapshot, ["tool/BUILD", "tool/tool.py"]
+        )
+        assert "//tool:tool" not in reloaded
+        assert "//app:app" in reloaded
+
+    def test_dangling_dep_after_reload_rejected(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        snapshot = dict(tiny_snapshot)
+        del snapshot["base/BUILD"]
+        with pytest.raises(UnknownTargetError):
+            reload_packages(graph, snapshot, ["base/BUILD"])
+
+
+class TestDirtySetHashing:
+    def test_incremental_matches_from_scratch(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        base_hashes = TargetHasher(graph, tiny_snapshot).all_hashes()
+        changed = dict(tiny_snapshot)
+        changed["lib/lib.py"] = "LIB = 5\n"
+        hashes, closure, computed = incremental_hashes(
+            graph, base_hashes, graph, changed, ["lib/lib.py"]
+        )
+        assert hashes == TargetHasher(graph, changed).all_hashes()
+        # lib plus its reverse-dependency closure (app), nothing else.
+        assert closure == {"//lib:lib", "//app:app"}
+        assert computed == 2
+
+    def test_dirty_targets_flags_redefined_and_new(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        snapshot = dict(tiny_snapshot)
+        snapshot["new/BUILD"] = "target(name = 'new', srcs = [], deps = ['//lib:lib'])\n"
+        snapshot["tool/BUILD"] = "target(name = 'tool', srcs = ['tool.py'], deps = ['//base:base'])\n"
+        reloaded = reload_packages(graph, snapshot, ["new/BUILD", "tool/BUILD"])
+        seeds = dirty_targets(graph, reloaded, ["new/BUILD", "tool/BUILD"])
+        assert seeds == {"//new:new", "//tool:tool"}
+
+    def test_untouched_digests_are_reused_not_recomputed(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        base_hashes = TargetHasher(graph, tiny_snapshot).all_hashes()
+        changed = dict(tiny_snapshot)
+        changed["app/app.py"] = "APP = 9\n"
+        hasher = TargetHasher(
+            graph, changed, seed_hashes=base_hashes, dirty=["//app:app"]
+        )
+        hashes = hasher.all_hashes()
+        assert hasher.computed == 1  # app is a root: closure is just itself
+        assert hashes["//base:base"] == base_hashes["//base:base"]
+
+
+class TestHashOfAncestorChain:
+    def test_hash_of_digests_only_the_dependency_closure(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        hasher = TargetHasher(graph, tiny_snapshot)
+        digest = hasher.hash_of("//lib:lib")
+        # lib depends only on base: tool and app must not have been hashed.
+        assert hasher.computed == 2
+        assert digest == TargetHasher(graph, tiny_snapshot).all_hashes()["//lib:lib"]
+
+    def test_hash_of_memoizes_across_calls(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        hasher = TargetHasher(graph, tiny_snapshot)
+        hasher.hash_of("//app:app")  # base, lib, app
+        assert hasher.computed == 3
+        hasher.hash_of("//lib:lib")
+        assert hasher.computed == 3  # already memoized
+        hasher.hash_of("//tool:tool")
+        assert hasher.computed == 4
+
+    def test_unknown_target_still_raises(self, tiny_snapshot):
+        graph = load_build_graph(tiny_snapshot)
+        with pytest.raises(UnknownTargetError):
+            TargetHasher(graph, tiny_snapshot).hash_of("//nope:nope")
+
+
+class TestAnalyzerIncrementalAnalyze:
+    def test_content_change_shares_base_graph(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        change = _change(modify(tiny_snapshot, "base/base.py", "BASE = 10\n"))
+        analysis = analyzer.analyze(change)
+        assert analysis.graph is analyzer._base_graph
+        assert not analysis.structure_changed
+        # base affects base, lib, app: exactly the closure was rehashed.
+        assert analyzer.stats.targets_rehashed == 3
+        assert analyzer.stats.targets_total == 4
+
+    def test_delta_matches_full_hash_diff(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        change = _change(modify(tiny_snapshot, "lib/lib.py", "LIB = 12\n"))
+        delta = analyzer.affected_targets(change)
+        snapshot = change.patch.apply(tiny_snapshot)
+        graph = load_build_graph(snapshot)
+        full = TargetHasher(graph, snapshot).all_hashes()
+        base = TargetHasher(load_build_graph(tiny_snapshot), tiny_snapshot).all_hashes()
+        expected = {
+            (name, digest)
+            for name, digest in full.items()
+            if base.get(name) != digest
+        }
+        assert {(t.name, t.digest) for t in delta} == expected
+
+
+class TestForgetEviction:
+    def test_forget_evicts_analysis_and_pair_verdicts(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        a = _change(modify(tiny_snapshot, "tool/tool.py", "TOOL = 40\n"))
+        b = _change(modify(tiny_snapshot, "app/app.py", "APP = 30\n"))
+        analyzer.conflict(a, b)
+        assert analyzer.cached_change_ids() == {a.change_id, b.change_id}
+        analyzer.forget(a.change_id)
+        assert analyzer.cached_change_ids() == {b.change_id}
+        # The pair verdict went with it: the next check recomputes.
+        analyzer.conflict(a, b)
+        assert analyzer.stats.cached == 0
+
+    def test_forget_unknown_change_is_noop(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        analyzer.forget("no-such-change")
+
+
+class TestAdvanceBase:
+    def _advance(self, analyzer, snapshot, patch):
+        """Commit ``patch`` on the analyzer's base and advance it."""
+        new_snapshot = patch.apply(snapshot).to_dict()
+        analyzer.advance_base(new_snapshot, patch.paths)
+        return new_snapshot
+
+    def test_disjoint_analysis_is_revalidated(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        pending = _change(modify(tiny_snapshot, "app/app.py", "APP = 30\n"))
+        before = analyzer.analyze(pending).delta
+        # Commit an edit to the independent tool target.
+        commit = modify(tiny_snapshot, "tool/tool.py", "TOOL = 50\n")
+        new_snapshot = self._advance(analyzer, tiny_snapshot, commit)
+        assert analyzer.stats.analyses_revalidated == 1
+        assert analyzer.stats.analyses_recomputed == 0
+        assert pending.change_id in analyzer.cached_change_ids()
+        # The carried analysis matches a from-scratch analyzer exactly.
+        fresh = ConflictAnalyzer(new_snapshot)
+        assert analyzer.analyze(pending).delta == fresh.analyze(pending).delta == before
+        assert analyzer.analyze(pending).hashes == fresh.analyze(pending).hashes
+
+    def test_overlapping_commit_recomputes(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        pending = _change(modify(tiny_snapshot, "app/app.py", "APP = 30\n"))
+        analyzer.analyze(pending)
+        # Commit into base/, whose closure reaches app: the cached delta
+        # digests are stale and must be recomputed.
+        commit = modify(tiny_snapshot, "base/base.py", "BASE = 99\n")
+        new_snapshot = self._advance(analyzer, tiny_snapshot, commit)
+        assert analyzer.stats.analyses_recomputed == 1
+        assert pending.change_id not in analyzer.cached_change_ids()
+        fresh = ConflictAnalyzer(new_snapshot)
+        assert analyzer.analyze(pending).delta == fresh.analyze(pending).delta
+
+    def test_structural_commit_drops_all_caches(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        pending = _change(modify(tiny_snapshot, "tool/tool.py", "TOOL = 41\n"))
+        analyzer.analyze(pending)
+        commit = Patch.adding(
+            {
+                "newpkg/BUILD": "target(name = 'n', srcs = ['n.py'], deps = [])\n",
+                "newpkg/n.py": "N = 1\n",
+            }
+        )
+        new_snapshot = self._advance(analyzer, tiny_snapshot, commit)
+        assert analyzer.cached_change_ids() == frozenset()
+        assert analyzer.stats.analyses_recomputed == 1
+        # The base itself advanced correctly (incrementally).
+        fresh = ConflictAnalyzer(new_snapshot)
+        assert analyzer._base_hashes == fresh._base_hashes
+        assert analyzer._base_structure == fresh._base_structure
+
+    def test_advance_without_paths_rebuilds(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        pending = _change(modify(tiny_snapshot, "app/app.py", "APP = 31\n"))
+        analyzer.analyze(pending)
+        commit = modify(tiny_snapshot, "tool/tool.py", "TOOL = 51\n")
+        new_snapshot = commit.apply(tiny_snapshot).to_dict()
+        analyzer.advance_base(new_snapshot, None)
+        assert analyzer.cached_change_ids() == frozenset()
+        fresh = ConflictAnalyzer(new_snapshot)
+        assert analyzer._base_hashes == fresh._base_hashes
+
+    def test_pair_verdicts_survive_only_for_revalidated_pairs(self, tiny_snapshot):
+        analyzer = ConflictAnalyzer(tiny_snapshot)
+        a = _change(modify(tiny_snapshot, "app/app.py", "APP = 30\n"))
+        b = _change(modify(tiny_snapshot, "lib/lib.py", "LIB = 20\n"))
+        assert analyzer.conflict(a, b)  # lib's closure includes app
+        commit = modify(tiny_snapshot, "tool/tool.py", "TOOL = 52\n")
+        self._advance(analyzer, tiny_snapshot, commit)
+        assert analyzer.stats.analyses_revalidated == 2
+        analyzer.conflict(a, b)
+        assert analyzer.stats.cached == 1  # verdict carried across the advance
