@@ -8,9 +8,15 @@ exactly the safe ones while the mainline stays green at every commit
 point.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace /tmp/quickstart
+      # then: PYTHONPATH=src python -m repro obs report /tmp/quickstart.jsonl
 """
 
+import argparse
+from typing import Optional
+
 from repro.buildsys.executor import BuildExecutor
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.predictor.predictors import StaticPredictor
 from repro.service.api import SubmitQueueService
 from repro.service.core import CoreService, CoreServiceConfig
@@ -18,7 +24,8 @@ from repro.strategies.submitqueue import SubmitQueueStrategy
 from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
 
 
-def main() -> None:
+def main(trace_prefix: Optional[str] = None) -> None:
+    recorder = Recorder() if trace_prefix else NULL_RECORDER
     # 1. A monorepo: three layers of build targets (libs -> services -> apps).
     monorepo = SyntheticMonorepo(MonorepoSpec(layers=(3, 4, 4), fan_in=2), seed=1)
     print(f"monorepo: {len(monorepo.graph)} targets, depth {monorepo.graph.depth()}")
@@ -33,6 +40,7 @@ def main() -> None:
                 StaticPredictor(success=0.85, conflict=0.15)
             ),
             config=CoreServiceConfig(workers=4),
+            recorder=recorder,
         )
     )
 
@@ -68,6 +76,27 @@ def main() -> None:
         marker = "ok" if report.success else "BROKEN"
         print(f"  commit {commit_id}: full build {marker}")
 
+    # 6. Optionally export the recorded trace (three views of one run)
+    #    and replay it as an epoch-by-epoch report.
+    if trace_prefix:
+        from repro.obs.inspect import format_report, load_trace
+
+        recorder.write_jsonl(f"{trace_prefix}.jsonl")
+        recorder.write_chrome_trace(f"{trace_prefix}.trace.json")
+        with open(f"{trace_prefix}.prom", "w", encoding="utf-8") as handle:
+            handle.write(recorder.prometheus_text())
+        print(
+            f"\ntrace written: {trace_prefix}.jsonl, "
+            f"{trace_prefix}.trace.json, {trace_prefix}.prom"
+        )
+        print()
+        print(format_report(load_trace(f"{trace_prefix}.jsonl")))
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PREFIX", default=None,
+        help="record the run and write PREFIX.jsonl / .trace.json / .prom",
+    )
+    main(trace_prefix=parser.parse_args().trace)

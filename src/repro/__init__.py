@@ -44,16 +44,19 @@ def quickstart_components(
     count: int = 200,
     workers: int = 100,
     seed: int = 0,
+    recorder=None,
 ):
     """Build a ready-to-run SubmitQueue simulation on a synthetic workload.
 
     Returns ``(simulation, stream)``; call ``simulation.run(stream)``.
     Uses the oracle predictor for zero-setup determinism — see
-    ``examples/`` for training a learned predictor.
+    ``examples/`` for training a learned predictor.  Pass a
+    :class:`repro.obs.Recorder` to trace the run.
     """
     from dataclasses import replace
 
     from repro.changes.truth import potential_conflict
+    from repro.obs.recorder import NULL_RECORDER
     from repro.planner.controller import LabelBuildController
     from repro.predictor.predictors import OraclePredictor
     from repro.sim.simulator import Simulation
@@ -68,5 +71,6 @@ def quickstart_components(
         controller=LabelBuildController(),
         workers=workers,
         conflict_predicate=potential_conflict,
+        recorder=recorder if recorder is not None else NULL_RECORDER,
     )
     return simulation, stream

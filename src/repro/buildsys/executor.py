@@ -21,6 +21,7 @@ from repro.buildsys.graph import BuildGraph
 from repro.buildsys.hashing import TargetHasher
 from repro.buildsys.loader import load_build_graph
 from repro.buildsys.steps import StepResult, evaluate_step
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.types import Path, TargetName
 
 
@@ -59,8 +60,13 @@ class BuildReport:
 class BuildExecutor:
     """Executes build steps over snapshots, sharing one artifact cache."""
 
-    def __init__(self, cache: Optional[ArtifactCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
+        self.recorder = recorder
 
     def build(
         self,
@@ -129,5 +135,26 @@ class BuildExecutor:
                     self.cache.put(digest, kind, result)
                 report.results.append(result)
                 if stop_on_failure and not result.passed:
+                    self._record(report)
                     return report
+        self._record(report)
         return report
+
+    def _record(self, report: BuildReport) -> None:
+        """Publish one build's cache effectiveness to the registry."""
+        if not self.recorder.enabled:
+            return
+        self.recorder.counter(
+            "executor_builds_total", "Builds the executor ran."
+        ).inc()
+        self.recorder.counter(
+            "executor_steps_executed_total",
+            "Steps evaluated by the executor (artifact-cache misses).",
+        ).inc(report.steps_executed)
+        self.recorder.counter(
+            "executor_steps_cached_total",
+            "Steps eliminated by the artifact cache (section 6.2).",
+        ).inc(report.steps_cached)
+        self.recorder.counter(
+            "executor_targets_built_total", "Targets covered by builds."
+        ).inc(len(report.targets_built))

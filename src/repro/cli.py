@@ -5,7 +5,11 @@ Commands:
 * ``quickstart`` — run a SubmitQueue simulation on a synthetic workload;
 * ``compare``    — all strategies on one stream (mini Figures 11/12);
 * ``figure``     — regenerate one paper figure's table;
-* ``train``      — train the prediction models and report section 7.2.
+* ``train``      — train the prediction models and report section 7.2;
+* ``obs``        — inspect recorded runs: ``report`` renders a JSONL
+  trace as an epoch-by-epoch text report, ``trace`` converts it to
+  Chrome ``trace_event`` JSON (load in Perfetto / chrome://tracing),
+  ``validate`` checks it against the trace schema.
 """
 
 from __future__ import annotations
@@ -29,6 +33,11 @@ def _build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--rate", type=float, default=300.0)
     quick.add_argument("--workers", type=int, default=100)
     quick.add_argument("--seed", type=int, default=0)
+    quick.add_argument(
+        "--trace", metavar="PREFIX", default=None,
+        help="record the run and write PREFIX.jsonl, PREFIX.trace.json "
+             "and PREFIX.prom",
+    )
 
     compare = sub.add_parser("compare", help="all strategies on one stream")
     compare.add_argument("--changes", type=int, default=250)
@@ -42,20 +51,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smaller sample sizes (seconds instead of minutes)",
     )
+    figure.add_argument(
+        "--trace", metavar="PREFIX", default=None,
+        help="figure 12 only: trace the first SubmitQueue cell and write "
+             "PREFIX.jsonl, PREFIX.trace.json and PREFIX.prom",
+    )
 
     train = sub.add_parser("train", help="train the prediction models")
     train.add_argument("--history", type=int, default=4000)
     train.add_argument("--seed", type=int, default=7)
+
+    obs = sub.add_parser("obs", help="inspect a recorded run")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="epoch-by-epoch text report of a JSONL trace"
+    )
+    report.add_argument("trace", help="path to a .jsonl trace file")
+    report.add_argument("--max-epochs", type=int, default=40)
+    trace = obs_sub.add_parser(
+        "trace", help="convert a JSONL trace to Chrome trace_event JSON"
+    )
+    trace.add_argument("trace", help="path to a .jsonl trace file")
+    trace.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: stdout)",
+    )
+    validate = obs_sub.add_parser(
+        "validate", help="check a JSONL trace against the schema"
+    )
+    validate.add_argument("trace", help="path to a .jsonl trace file")
     return parser
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import quickstart_components
     from repro.metrics.percentile import summarize
+    from repro.obs.recorder import NULL_RECORDER, Recorder
 
+    recorder = Recorder() if args.trace else NULL_RECORDER
     simulation, stream = quickstart_components(
         rate_per_hour=args.rate, count=args.changes, workers=args.workers,
-        seed=args.seed,
+        seed=args.seed, recorder=recorder,
     )
     result = simulation.run(stream)
     stats = summarize(result.turnaround_values())
@@ -66,6 +102,50 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
         f"throughput {result.throughput_per_hour:.0f}/h, "
         f"utilization {result.utilization:.0%}"
     )
+    if args.trace:
+        for path in _write_trace_outputs(recorder, args.trace):
+            print(f"wrote {path}")
+    return 0
+
+
+def _write_trace_outputs(recorder, prefix: str) -> List[str]:
+    """Write the JSONL / Chrome-trace / Prometheus views of one run."""
+    jsonl = f"{prefix}.jsonl"
+    chrome = f"{prefix}.trace.json"
+    prom = f"{prefix}.prom"
+    recorder.write_jsonl(jsonl)
+    recorder.write_chrome_trace(chrome)
+    with open(prom, "w", encoding="utf-8") as handle:
+        handle.write(recorder.prometheus_text())
+    return [jsonl, chrome, prom]
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.inspect import format_report, load_trace
+    from repro.obs.schema import validate_file
+
+    if args.obs_command == "validate":
+        errors = validate_file(args.trace)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: valid")
+        return 0
+    trace = load_trace(args.trace)
+    if args.obs_command == "report":
+        print(format_report(trace, max_epochs=args.max_epochs))
+        return 0
+    # args.obs_command == "trace"
+    payload = json.dumps(trace.to_chrome_trace(), indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
     return 0
 
 
@@ -155,7 +235,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     elif args.id == "12":
         from repro.experiments import figure12 as module
 
-        result = module.run(changes_per_cell=80 if quick else 250)
+        if args.trace:
+            from repro.obs.recorder import Recorder
+
+            recorder = Recorder()
+            result = module.run(
+                changes_per_cell=80 if quick else 250, recorder=recorder
+            )
+            for path in _write_trace_outputs(recorder, args.trace):
+                print(f"wrote {path}")
+        else:
+            result = module.run(changes_per_cell=80 if quick else 250)
     elif args.id == "13":
         from repro.experiments import figure13 as module
 
@@ -211,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "train": _cmd_train,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -32,7 +32,7 @@ instead of running the build system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.buildsys.delta import delta_from_dirty, delta_names, equation6_conflict
 from repro.buildsys.graph import BuildGraph
@@ -41,11 +41,12 @@ from repro.buildsys.loader import load_build_graph, reload_packages
 from repro.changes.change import Change
 from repro.conflict.union_graph import UnionGraph
 from repro.errors import PatchConflictError
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.registry import MetricsRegistry
 from repro.types import AffectedTarget, ChangeId, Path, TargetName
 from repro.vcs.patch import Patch, three_way_conflicts
 
 
-@dataclass
 class ConflictAnalyzerStats:
     """Counters for fast/slow path usage and incremental effectiveness.
 
@@ -53,19 +54,87 @@ class ConflictAnalyzerStats:
     records how much work dirty-set hashing and carry-over actually saved
     (``targets_rehashed`` out of ``targets_total`` per analysis, cached
     analyses ``analyses_revalidated`` vs ``analyses_recomputed`` across
-    head advances).
+    head advances).  ``analyses_recomputed`` counts when the replacement
+    analysis is actually computed — a head advance *invalidates* cached
+    analyses, and the recompute happens (and is counted) on the next
+    ``analyze()`` of that change, so the revalidated/recomputed ratio
+    reflects work performed, not work predicted.
+
+    Every counter lives in a :class:`~repro.obs.registry.MetricsRegistry`
+    (the analyzer's recorder's, when one is attached, so conflict series
+    appear in the run's Prometheus/JSON dumps); the attribute API
+    (``stats.fast_path``, ``stats.fast_path += 1``) is a thin shim over
+    those series for the pre-registry callers and benches.
     """
 
-    fast_path: int = 0
-    slow_path: int = 0
-    textual: int = 0
-    cached: int = 0
-    analyses: int = 0
-    targets_rehashed: int = 0
-    targets_total: int = 0
-    head_advances: int = 0
-    analyses_revalidated: int = 0
-    analyses_recomputed: int = 0
+    #: attribute -> (metric name, labels, help).
+    _SERIES = {
+        "fast_path": (
+            "conflict_pair_checks_total",
+            {"path": "fast"},
+            "Pairwise conflict checks by resolution path.",
+        ),
+        "slow_path": ("conflict_pair_checks_total", {"path": "slow"}, ""),
+        "textual": ("conflict_pair_checks_total", {"path": "textual"}, ""),
+        "cached": (
+            "conflict_pair_cache_hits_total",
+            None,
+            "Pairwise verdicts answered from the pair cache.",
+        ),
+        "analyses": (
+            "conflict_analyses_total",
+            None,
+            "Full per-change analyses computed.",
+        ),
+        "targets_rehashed": (
+            "conflict_targets_rehashed_total",
+            None,
+            "Target hashes recomputed (dirty-set misses).",
+        ),
+        "targets_total": (
+            "conflict_targets_considered_total",
+            None,
+            "Target hashes needed across all analyses.",
+        ),
+        "head_advances": (
+            "conflict_head_advances_total",
+            None,
+            "Mainline advances applied to the analyzer base.",
+        ),
+        "analyses_revalidated": (
+            "conflict_analyses_revalidated_total",
+            None,
+            "Cached analyses carried over a head advance.",
+        ),
+        "analyses_recomputed": (
+            "conflict_analyses_recomputed_total",
+            None,
+            "Invalidated analyses recomputed on next use.",
+        ),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        counters = {
+            attr: registry.counter(name, help_text, labels)
+            for attr, (name, labels, help_text) in self._SERIES.items()
+        }
+        object.__setattr__(self, "_registry", registry)
+        object.__setattr__(self, "_counters", counters)
+
+    def __getattr__(self, name: str):
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            counters[name].set_(float(value))
+        else:
+            object.__setattr__(self, name, value)
 
     @property
     def checks(self) -> int:
@@ -107,14 +176,21 @@ class ConflictAnalyzer:
     """Build-target-hash based pairwise conflict detection."""
 
     def __init__(self, base_snapshot: Mapping[Path, str],
-                 base_graph: Optional[BuildGraph] = None) -> None:
+                 base_graph: Optional[BuildGraph] = None,
+                 recorder: Recorder = NULL_RECORDER) -> None:
         self._base_snapshot = base_snapshot
         self._base_graph = base_graph or load_build_graph(base_snapshot)
         self._base_hashes = TargetHasher(self._base_graph, base_snapshot).all_hashes()
         self._base_structure = self._base_graph.structure()
         self._per_change: Dict[ChangeId, _ChangeAnalysis] = {}
         self._pair_cache: Dict[Tuple[ChangeId, ChangeId], bool] = {}
-        self.stats = ConflictAnalyzerStats()
+        #: Change ids whose cached analysis a head advance invalidated;
+        #: their recompute is counted when analyze() actually redoes it.
+        self._invalidated: Set[ChangeId] = set()
+        self._recorder = recorder
+        self.stats = ConflictAnalyzerStats(
+            recorder.registry if recorder.enabled else None
+        )
 
     # -- per-change analysis ------------------------------------------------
 
@@ -132,6 +208,11 @@ class ConflictAnalyzer:
             raise ValueError(f"change {change.change_id} carries no patch")
         analysis = self._analyze_patch(change.patch)
         self._per_change[change.change_id] = analysis
+        if change.change_id in self._invalidated:
+            # A head advance dropped this change's cached analysis; this
+            # recompute is the work the carry-over failed to save.
+            self._invalidated.discard(change.change_id)
+            self.stats.analyses_recomputed += 1
         return analysis
 
     def _analyze_patch(self, patch: Patch) -> _ChangeAnalysis:
@@ -181,6 +262,7 @@ class ConflictAnalyzer:
         ever analyzed.
         """
         self._per_change.pop(change_id, None)
+        self._invalidated.discard(change_id)
         for key in [k for k in self._pair_cache if change_id in k]:
             del self._pair_cache[key]
 
@@ -249,7 +331,20 @@ class ConflictAnalyzer:
                     analysis, new_snapshot, new_hashes
                 )
         self.stats.analyses_revalidated += len(survivors)
-        self.stats.analyses_recomputed += len(self._per_change) - len(survivors)
+        # Dropped analyses are *invalidated*, not yet recomputed: the
+        # recompute counter moves when analyze() actually redoes the work.
+        self._invalidated.update(
+            change_id for change_id in self._per_change if change_id not in survivors
+        )
+        if self._recorder.enabled:
+            self._recorder.event(
+                "conflict.advance_base",
+                category="conflict",
+                track="service",
+                revalidated=len(survivors),
+                invalidated=len(self._per_change) - len(survivors),
+                structural=structural_commit,
+            )
 
         self._pair_cache = {
             key: verdict
@@ -289,7 +384,7 @@ class ConflictAnalyzer:
         )
 
     def _rebuild(self, new_snapshot: Mapping[Path, str]) -> None:
-        self.stats.analyses_recomputed += len(self._per_change)
+        self._invalidated.update(self._per_change)
         self._base_snapshot = new_snapshot
         self._base_graph = load_build_graph(new_snapshot)
         self._base_hashes = TargetHasher(

@@ -104,3 +104,15 @@ class ClockError(SimulationError):
 
 class WorkloadError(ReproError):
     """Base class for workload-generation errors."""
+
+
+class ObservabilityError(ReproError):
+    """Base class for metrics/tracing errors."""
+
+
+class MetricsError(ObservabilityError):
+    """A metric was registered or updated inconsistently."""
+
+
+class TraceError(ObservabilityError):
+    """A trace file or span operation was malformed."""

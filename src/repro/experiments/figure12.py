@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     run_cell,
     strategy_factories,
 )
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.predictor.predictors import Predictor
 from repro.strategies.oracle import OracleStrategy
 
@@ -47,9 +48,15 @@ def run(
     ),
     predictor: Optional[Predictor] = None,
     seed: int = 1212,
+    recorder: Recorder = NULL_RECORDER,
+    trace_strategy: str = "SubmitQueue",
 ) -> Figure12Result:
+    """``recorder``: when enabled, the *first* ``trace_strategy`` cell of
+    the sweep (lowest rate, fewest workers) runs instrumented, so one
+    representative run can be inspected without tracing the whole grid."""
     factories = strategy_factories(predictor)
     normalized: Dict[str, Dict[Cell, float]] = {name: {} for name in strategies}
+    trace_pending = recorder.enabled
     for rate in rates:
         stream = make_stream(rate, changes_per_cell, seed=seed)
         for worker_count in workers:
@@ -59,9 +66,17 @@ def run(
                 rate,
             )
             for name in strategies:
+                cell_recorder = NULL_RECORDER
+                if trace_pending and name == trace_strategy:
+                    cell_recorder = recorder
+                    trace_pending = False
                 summary = CellSummary.from_result(
                     run_cell(
-                        factories[name](), stream, worker_count, potential_conflict
+                        factories[name](),
+                        stream,
+                        worker_count,
+                        potential_conflict,
+                        recorder=cell_recorder,
                     ),
                     rate,
                 )

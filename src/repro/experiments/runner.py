@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.changes.change import Change
 from repro.changes.truth import potential_conflict
 from repro.metrics.percentile import summarize
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.planner.controller import LabelBuildController
 from repro.predictor.predictors import OraclePredictor, Predictor
 from repro.sim.simulator import Simulation, SimulationResult
@@ -66,6 +67,7 @@ def run_cell(
     conflict_predicate: Callable[[Change, Change], bool] = potential_conflict,
     step_elimination: bool = True,
     epoch_minutes: float = 2.0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SimulationResult:
     """Run one strategy over one stream on one worker count."""
     simulation = Simulation(
@@ -74,6 +76,7 @@ def run_cell(
         workers=workers,
         conflict_predicate=conflict_predicate,
         epoch_minutes=epoch_minutes,
+        recorder=recorder,
     )
     return simulation.run(list(stream))
 

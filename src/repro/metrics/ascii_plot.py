@@ -130,6 +130,38 @@ def heatmap(
     return "\n".join(lines)
 
 
+#: Sparkline glyphs, lowest to highest.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """One-line trend glyphs for a numeric series.
+
+    ``low``/``high`` pin the scale (defaults: observed extremes); ``width``
+    downsamples long series by bucket-averaging so the line fits a report
+    column.  An empty series renders as an empty string.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if width is not None and width > 0 and len(data) > width:
+        bucketed: List[float] = []
+        for index in range(width):
+            start = index * len(data) // width
+            end = max(start + 1, (index + 1) * len(data) // width)
+            chunk = data[start:end]
+            bucketed.append(sum(chunk) / len(chunk))
+        data = bucketed
+    lo = min(data) if low is None else float(low)
+    hi = max(data) if high is None else float(high)
+    return "".join(_SPARKS[_scale(v, lo, hi, len(_SPARKS))] for v in data)
+
+
 def bar_chart(
     values: Mapping[str, float],
     width: int = 50,

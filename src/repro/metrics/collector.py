@@ -36,11 +36,22 @@ class TurnaroundStats:
         return summarize(self._samples)
 
     def normalized_against(self, oracle: "TurnaroundStats") -> Dict[str, float]:
-        """P50/P95/P99 ratios against an Oracle run (Figure 11 cells)."""
+        """P50/P95/P99 ratios against an Oracle run (Figure 11 cells).
+
+        Raises :class:`ValueError` when either side has no samples.  A
+        degenerate zero-valued baseline percentile yields ``nan`` for that
+        ratio (a zero-turnaround Oracle makes the ratio meaningless, and
+        ``nan`` — unlike the old ``inf`` — refuses to order against real
+        ratios in downstream comparisons).
+        """
+        if not self._samples:
+            raise ValueError("cannot normalize: no turnaround samples")
+        if not len(oracle):
+            raise ValueError("cannot normalize against an empty baseline")
         mine = self.summary()
         base = oracle.summary()
         return {
-            key: (mine[key] / base[key] if base[key] > 0 else float("inf"))
+            key: (mine[key] / base[key] if base[key] > 0 else float("nan"))
             for key in ("p50", "p95", "p99")
         }
 

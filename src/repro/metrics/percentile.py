@@ -23,12 +23,22 @@ def percentiles(values: Sequence[float], qs: Iterable[float]) -> List[float]:
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """The P50/P95/P99 + mean summary the paper reports."""
-    data = list(values)
+    """The P50/P95/P99 + mean summary the paper reports.
+
+    Raises :class:`ValueError` on an empty sample and on non-finite
+    values — both indicate an upstream accounting bug (a run that decided
+    nothing, an ``inf`` ratio leaking in) and would otherwise poison every
+    downstream table silently.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(data)):
+        raise ValueError("cannot summarize non-finite values")
     return {
-        "p50": percentile(data, 50),
-        "p95": percentile(data, 95),
-        "p99": percentile(data, 99),
-        "mean": float(np.mean(np.asarray(data, dtype=float))),
-        "count": float(len(data)),
+        "p50": float(np.percentile(data, 50)),
+        "p95": float(np.percentile(data, 95)),
+        "p99": float(np.percentile(data, 99)),
+        "mean": float(np.mean(data)),
+        "count": float(data.size),
     }

@@ -1,0 +1,41 @@
+"""Observability: metrics registry, sim-clock tracing, run inspection.
+
+The layer every other subsystem reports through (and the foundation the
+perf/fault-injection roadmap items build on):
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges,
+  labeled histograms; Prometheus text + JSON exposition;
+* :class:`~repro.obs.tracer.SpanTracer` — simulated-clock spans
+  (epoch/build/pump/analyze) with parent links; JSONL + Chrome trace
+  export;
+* :class:`~repro.obs.recorder.Recorder` — the injectable bundle of both;
+  :data:`~repro.obs.recorder.NULL_RECORDER` is the zero-cost default;
+* :mod:`repro.obs.schema` — the JSONL trace schema and validator;
+* :mod:`repro.obs.inspect` — the ``obs report``/``obs trace`` CLI
+  machinery.
+
+Only the standard library is used; attaching a recorder never adds a
+dependency.
+"""
+
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Event, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,319 @@
+"""The span tracer: simulated-clock spans with parent-child links.
+
+Spans are intervals of *simulated* time (minutes, the unit every clock in
+this repo speaks): an epoch, a speculative build, a pump, a head advance.
+Two export formats:
+
+* JSONL structured events (one JSON object per line; schema in
+  :mod:`repro.obs.schema`) — the durable record ``obs report`` replays;
+* Chrome ``trace_event`` JSON — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to scrub through a run visually.
+
+Parenting is hybrid: the context-manager :meth:`SpanTracer.span` nests
+under the innermost open context span (the service's pump/epoch
+structure), while :meth:`SpanTracer.start`/:meth:`SpanTracer.finish`
+support long-lived spans that outlive their parent's frame (a speculative
+build crosses epoch boundaries; its ``parent_id`` still records the epoch
+that started it).
+
+Each span carries a ``track`` — the horizontal row it renders on.  Spans
+on one track must nest by containment (Chrome's rule for ``X`` events);
+the instrumentation puts the service's pump/epoch loop on the ``service``
+track and every build on its change's own track.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import TraceError
+
+#: Simulated minutes -> trace_event microseconds.
+_US_PER_MINUTE = 60_000_000.0
+
+Clock = Callable[[], float]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+@dataclass
+class Span:
+    """One interval of simulated time."""
+
+    span_id: int
+    name: str
+    category: str
+    start: float
+    track: str
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise TraceError(f"span {self.name}#{self.span_id} still open")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Event:
+    """An instant (zero-duration) occurrence."""
+
+    event_id: int
+    name: str
+    category: str
+    at: float
+    track: str
+    span_id: Optional[int]
+    attrs: Dict[str, object]
+
+
+class SpanTracer:
+    """Records spans and instants against a bound simulated clock."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else _zero_clock
+        self._spans: List[Span] = []
+        self._events: List[Event] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Point the tracer at the owning component's simulated clock."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- recording -----------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def start(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "service",
+        at: Optional[float] = None,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span; pairs with :meth:`finish`.
+
+        Without an explicit ``parent``, the innermost open context span
+        (if any) becomes the parent — a build started inside an epoch span
+        links to that epoch even though it will outlive it.
+        """
+        if parent is None:
+            parent = self.current_span
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start=self._clock() if at is None else float(at),
+            track=track,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def finish(
+        self, span: Span, at: Optional[float] = None, **attrs: object
+    ) -> Span:
+        """Close a span (idempotence is an error: a span closes once)."""
+        if span.end is not None:
+            raise TraceError(f"span {span.name}#{span.span_id} already closed")
+        end = self._clock() if at is None else float(at)
+        if end < span.start:
+            raise TraceError(
+                f"span {span.name}#{span.span_id} would close before it opened"
+            )
+        span.end = end
+        span.attrs.update(attrs)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "service",
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Context-managed span: nested calls parent onto it."""
+        opened = self.start(name, category=category, track=track, **attrs)
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            self._stack.pop()
+            if opened.end is None:
+                self.finish(opened)
+
+    def event(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "service",
+        at: Optional[float] = None,
+        **attrs: object,
+    ) -> Event:
+        """Record an instant occurrence, attached to the current span."""
+        current = self.current_span
+        recorded = Event(
+            event_id=self._next_id,
+            name=name,
+            category=category,
+            at=self._clock() if at is None else float(at),
+            track=track,
+            span_id=current.span_id if current is not None else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._events.append(recorded)
+        return recorded
+
+    def finish_open(self, at: Optional[float] = None) -> int:
+        """Close every still-open span (end of run); returns how many."""
+        closed = 0
+        for span in self._spans:
+            if span.end is None:
+                self.finish(span, at=at)
+                closed += 1
+        self._stack.clear()
+        return closed
+
+    # -- inspection ----------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl_records(self) -> List[Dict[str, object]]:
+        """Span/event records in start order (spans must be closed)."""
+        records: List[Dict[str, object]] = []
+        for span in self._spans:
+            if span.end is None:
+                raise TraceError(
+                    f"span {span.name}#{span.span_id} still open; call "
+                    "finish_open() before exporting"
+                )
+            records.append(
+                {
+                    "type": "span",
+                    "id": span.span_id,
+                    "name": span.name,
+                    "cat": span.category,
+                    "track": span.track,
+                    "start": span.start,
+                    "end": span.end,
+                    "parent": span.parent_id,
+                    "attrs": span.attrs,
+                }
+            )
+        for event in self._events:
+            records.append(
+                {
+                    "type": "event",
+                    "id": event.event_id,
+                    "name": event.name,
+                    "cat": event.category,
+                    "track": event.track,
+                    "at": event.at,
+                    "span": event.span_id,
+                    "attrs": event.attrs,
+                }
+            )
+        records.sort(key=lambda r: (r.get("start", r.get("at", 0.0)), r["id"]))
+        return records
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The Chrome ``trace_event`` JSON object for this run."""
+        return chrome_trace_from_records(self.to_jsonl_records())
+
+
+def chrome_trace_from_records(
+    records: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Convert JSONL span/event records into a Chrome trace_event dict.
+
+    Shared by the live tracer and the ``obs trace`` converter (which reads
+    records back from a file).  Tracks become named threads of one
+    process; spans become ``X`` (complete) events and instants ``i``.
+    """
+    tracks: Dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tracks:
+            tracks[track] = len(tracks)
+        return tracks[track]
+
+    trace_events: List[Dict[str, object]] = []
+    for record in records:
+        if record["type"] == "span":
+            start = float(record["start"])  # type: ignore[arg-type]
+            end = float(record["end"])  # type: ignore[arg-type]
+            args = dict(record.get("attrs") or {})
+            args["span_id"] = record["id"]
+            if record.get("parent") is not None:
+                args["parent_span_id"] = record["parent"]
+            trace_events.append(
+                {
+                    "name": record["name"],
+                    "cat": record.get("cat") or "repro",
+                    "ph": "X",
+                    "ts": start * _US_PER_MINUTE,
+                    "dur": (end - start) * _US_PER_MINUTE,
+                    "pid": 1,
+                    "tid": tid(str(record["track"])),
+                    "args": args,
+                }
+            )
+        elif record["type"] == "event":
+            trace_events.append(
+                {
+                    "name": record["name"],
+                    "cat": record.get("cat") or "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": float(record["at"]) * _US_PER_MINUTE,  # type: ignore[arg-type]
+                    "pid": 1,
+                    "tid": tid(str(record["track"])),
+                    "args": dict(record.get("attrs") or {}),
+                }
+            )
+    for track, thread_id in tracks.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": thread_id,
+                "args": {"name": track},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated-minutes"},
+    }

@@ -27,6 +27,7 @@ from repro.buildsys.executor import BuildExecutor
 from repro.changes.change import Change
 from repro.changes.truth import stack_outcome
 from repro.errors import PatchConflictError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.types import BuildKey, ChangeId
 from repro.vcs.patch import squash
 from repro.vcs.repository import Repository
@@ -118,9 +119,11 @@ class FullStackBuildController(BuildController):
         cache: Optional[ArtifactCache] = None,
         step_minutes: float = 1.0,
         cached_step_minutes: float = 0.01,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self._repo = repo
-        self.executor = BuildExecutor(cache)
+        self.recorder = recorder
+        self.executor = BuildExecutor(cache, recorder=recorder)
         self.step_minutes = step_minutes
         self.cached_step_minutes = cached_step_minutes
         self.base_commit_id = repo.head()
@@ -146,6 +149,18 @@ class FullStackBuildController(BuildController):
             green=True,
         )
         self.refresh_base()
+        if self.recorder.enabled:
+            self.recorder.counter(
+                "service_mainline_commits_total",
+                "Changes landed on the mainline.",
+            ).inc()
+            self.recorder.event(
+                "commit",
+                category="service",
+                track="service",
+                change_id=change.change_id,
+                commit_id=self.base_commit_id,
+            )
 
     def execute(
         self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]

@@ -25,6 +25,7 @@ from repro.changes.change import Change
 from repro.changes.queue import PendingQueue
 from repro.changes.state import ChangeLedger, ChangeRecord
 from repro.conflict.conflict_graph import ConflictGraph
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.planner.controller import BuildController, BuildExecution
 from repro.planner.workers import WorkerPool
 from repro.types import BuildKey, ChangeId, ChangeState
@@ -57,6 +58,8 @@ class BuildRecord:
     started_at: float
     completed_at: Optional[float] = None
     aborted: bool = False
+    #: Open tracer span for the running build (None when not recording).
+    span: Optional[object] = None
 
     @property
     def done(self) -> bool:
@@ -129,18 +132,29 @@ class PlannerEngine:
         workers: WorkerPool,
         conflict_predicate: Callable[[Change, Change], bool],
         preemption_grace: float = 0.0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         """``preemption_grace``: a running build within this many minutes
         of completion is never aborted even when deselected — the paper's
         section-10 build-preemption refinement ("if a build is near its
         completion, it might be beneficial to continue running its build
-        steps, instead of preemptively aborting").  0 disables it."""
+        steps, instead of preemptively aborting").  0 disables it.
+
+        ``recorder``: an optional :class:`~repro.obs.recorder.Recorder`;
+        the default no-op recorder keeps every instrumentation site to a
+        falsy branch.  Strategies exposing ``bind_recorder`` (e.g. the
+        speculation-driven SubmitQueue strategy) receive the same one."""
         if preemption_grace < 0:
             raise ValueError("preemption_grace must be non-negative")
         self.preemption_grace = preemption_grace
         self.strategy = strategy
         self.controller = controller
         self.workers = workers
+        self.recorder = recorder
+        bind = getattr(strategy, "bind_recorder", None)
+        if bind is not None:
+            bind(recorder)
+        self._epoch_span = None
         self.queue = PendingQueue()
         self.ledger = ChangeLedger()
         self.conflict_graph = ConflictGraph(conflict_predicate)
@@ -226,6 +240,8 @@ class PlannerEngine:
     def plan(self, now: float) -> "PlanResult":
         """One epoch: select builds, abort stale ones, start new ones."""
         self.stats.plan_calls += 1
+        if self.recorder.enabled:
+            self._begin_epoch(now)
         propose = getattr(self.strategy, "propose_reorders", None)
         if propose is not None:
             for ahead_id, behind_id in propose(self._view):
@@ -273,18 +289,83 @@ class PlannerEngine:
                 if existing is None or existing.aborted or not existing.done:
                     if not self.workers.is_running(key):
                         started.append(self._start(key, now))
+        if self.recorder.enabled:
+            self._record_epoch(len(started), len(aborted))
         return PlanResult(started=started, aborted=aborted)
+
+    def _begin_epoch(self, now: float) -> None:
+        """Close the previous epoch span and open the next one."""
+        if self._epoch_span is not None:
+            self.recorder.finish_span(self._epoch_span, at=now)
+        self._epoch_span = self.recorder.start_span(
+            "epoch",
+            category="planner",
+            track="service",
+            at=now,
+            epoch=self.stats.plan_calls,
+            queue_depth=len(self.queue),
+            workers_busy=self.workers.busy,
+        )
+        self.recorder.counter(
+            "planner_plan_calls_total", "Planner epochs (plan() calls)."
+        ).inc()
+        self.recorder.gauge(
+            "planner_queue_depth", "Pending changes at epoch start."
+        ).set(len(self.queue))
+
+    def _record_epoch(self, started: int, aborted: int) -> None:
+        """Attach this epoch's selection outcome to its span and gauges."""
+        if self._epoch_span is not None:
+            self._epoch_span.attrs["builds_started"] = started
+            self._epoch_span.attrs["builds_aborted"] = aborted
+        self.recorder.gauge(
+            "planner_workers_busy", "Busy workers after the epoch's starts."
+        ).set(self.workers.busy)
+        self.recorder.gauge(
+            "planner_worker_utilization",
+            "Busy fraction of the worker fleet after the epoch.",
+        ).set(self.workers.busy / self.workers.capacity)
+
+    def finish_trace(self, now: float) -> None:
+        """Close the open epoch span (call when a run drains)."""
+        if self._epoch_span is not None:
+            self.recorder.finish_span(self._epoch_span, at=now)
+            self._epoch_span = None
 
     def _start(self, key: BuildKey, now: float) -> ScheduledBuild:
         execution = self.controller.execute(key, self.all_changes)
         if key not in self.builds:
             self._builds_by_change.setdefault(key.change_id, []).append(key)
-        self.builds[key] = BuildRecord(key=key, execution=execution, started_at=now)
+        build = BuildRecord(key=key, execution=execution, started_at=now)
+        self.builds[key] = build
         self.workers.assign(key, now)
         record = self.records.get(key.change_id)
         if record is not None:
             record.builds_scheduled += 1
         self.stats.builds_started += 1
+        if self.recorder.enabled:
+            build.span = self.recorder.start_span(
+                "build",
+                category="build",
+                track=f"change:{key.change_id}",
+                at=now,
+                parent=self._epoch_span,
+                key=key.label() if hasattr(key, "label") else str(key),
+                change_id=key.change_id,
+                assumed=len(key.assumed),
+            )
+            self.recorder.counter(
+                "planner_builds_started_total", "Speculative builds started."
+            ).inc()
+            if execution.steps_executed or execution.steps_cached:
+                self.recorder.counter(
+                    "build_steps_executed_total",
+                    "Build steps actually executed (cache misses).",
+                ).inc(execution.steps_executed)
+                self.recorder.counter(
+                    "build_steps_cached_total",
+                    "Build steps eliminated via the artifact cache.",
+                ).inc(execution.steps_cached)
         return ScheduledBuild(key=key, duration=execution.duration)
 
     def _abort(self, key: BuildKey, now: float) -> None:
@@ -297,6 +378,19 @@ class PlannerEngine:
         if change_record is not None:
             change_record.builds_aborted += 1
         self.stats.builds_aborted += 1
+        if self.recorder.enabled:
+            if record is not None and record.span is not None:
+                self.recorder.finish_span(record.span, at=now, aborted=True)
+                record.span = None
+            self.recorder.counter(
+                "planner_builds_aborted_total",
+                "Speculative builds aborted after deselection.",
+            ).inc()
+            if record is not None:
+                self.recorder.counter(
+                    "planner_wasted_minutes_total",
+                    "Build minutes thrown away by aborts.",
+                ).inc(max(0.0, now - record.started_at))
 
     # -- completion & decisions -----------------------------------------------
 
@@ -309,6 +403,22 @@ class PlannerEngine:
         record.completed_at = now
         self.stats.builds_completed += 1
         self.stats.build_minutes += record.execution.duration
+        if self.recorder.enabled:
+            if record.span is not None:
+                self.recorder.finish_span(
+                    record.span, at=now, success=record.execution.success
+                )
+                record.span = None
+            self.recorder.counter(
+                "planner_builds_completed_total", "Speculative builds finished."
+            ).inc()
+            self.recorder.counter(
+                "planner_build_minutes_total", "Total build minutes spent."
+            ).inc(record.execution.duration)
+            self.recorder.histogram(
+                "planner_build_duration_minutes",
+                "Durations of completed builds.",
+            ).observe(record.execution.duration)
 
         change_record = self.records.get(key.change_id)
         if change_record is not None and not change_record.state.is_terminal:
@@ -404,6 +514,30 @@ class PlannerEngine:
         self.queue.remove(change_id)
         self.conflict_graph.remove(change_id)
         self._decision_log.append(decision)
+        if self.recorder.enabled:
+            verdict = "committed" if decision.committed else "rejected"
+            self.recorder.counter(
+                "planner_decisions_total",
+                "Terminal verdicts on changes.",
+                labels={"verdict": verdict},
+            ).inc()
+            if record.turnaround is not None:
+                self.recorder.histogram(
+                    "service_turnaround_minutes",
+                    "Submission-to-decision turnaround.",
+                ).observe(record.turnaround)
+            if self._epoch_span is not None:
+                self._epoch_span.attrs["decisions"] = (
+                    int(self._epoch_span.attrs.get("decisions", 0)) + 1
+                )
+            self.recorder.event(
+                "decision",
+                category="planner",
+                track="service",
+                at=decision.at,
+                change_id=change_id,
+                verdict=verdict,
+            )
         change = self.all_changes[change_id]
         commit_hook = getattr(self.controller, "on_commit", None)
         if decision.committed and commit_hook is not None:

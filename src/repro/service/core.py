@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.changes.change import Change
 from repro.conflict.analyzer import ConflictAnalyzer
 from repro.errors import SimulationError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.planner.controller import BuildController, FullStackBuildController
 from repro.planner.planner import Decision, PlannerEngine
 from repro.planner.workers import WorkerPool
@@ -54,28 +55,42 @@ class CoreService:
         config: CoreServiceConfig = CoreServiceConfig(),
         controller: Optional[BuildController] = None,
         store=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         """``store``: an optional
         :class:`~repro.service.storage.SubmitQueueStore`; submissions and
-        decisions are mirrored into it (the MySQL role of section 7.1)."""
+        decisions are mirrored into it (the MySQL role of section 7.1).
+
+        ``recorder``: an optional :class:`~repro.obs.recorder.Recorder`;
+        when attached, the whole stack — planner epochs and builds,
+        speculation-engine selections, conflict-analyzer counters, build
+        cache hits, turnaround and greenness — reports through it.  The
+        default no-op recorder costs nothing."""
         self.repo = repo
         self.config = config
+        self.recorder = recorder
         self._store_mirror = None
         if store is not None:
             from repro.service.storage import PersistentLedgerMirror
 
             self._store_mirror = PersistentLedgerMirror(store)
         self.controller = (
-            controller if controller is not None else FullStackBuildController(repo)
+            controller
+            if controller is not None
+            else FullStackBuildController(repo, recorder=recorder)
         )
-        self._analyzer = ConflictAnalyzer(repo.snapshot().to_dict())
+        self._analyzer = ConflictAnalyzer(
+            repo.snapshot().to_dict(), recorder=recorder
+        )
         self.planner = PlannerEngine(
             strategy=strategy,
             controller=self.controller,
             workers=WorkerPool(config.workers),
             conflict_predicate=self._conflict_predicate,
+            recorder=recorder,
         )
         self.clock = Clock()
+        recorder.bind_clock(lambda: self.clock.now)
         self._events = EventQueue()
         self._completion_handles: Dict[BuildKey, EventHandle] = {}
         self._head_at_analyzer = repo.head()
@@ -121,12 +136,30 @@ class CoreService:
     def submit(self, change: Change) -> None:
         """Enqueue a change at the current service time."""
         self.planner.submit(change, self.clock.now)
+        if self.recorder.enabled:
+            self.recorder.counter(
+                "service_submissions_total", "Changes submitted to the queue."
+            ).inc()
+            self.recorder.event(
+                "submit",
+                category="service",
+                track="service",
+                change_id=change.change_id,
+            )
         if self._store_mirror is not None:
             self._store_mirror.on_submit(change, self.clock.now)
         self._replan()
 
     def pump(self) -> List[Decision]:
         """Advance time until every submitted change is decided."""
+        pump_span = None
+        if self.recorder.enabled:
+            pump_span = self.recorder.start_span(
+                "pump",
+                category="service",
+                track="service",
+                pending=self.planner.pending_count(),
+            )
         decisions: List[Decision] = []
         guard = self.clock.now + self.config.max_pump_minutes
         while self._events or self.planner.pending_count() > 0:
@@ -154,6 +187,16 @@ class CoreService:
                     self._store_mirror.on_decision(decision)
             decisions.extend(new_decisions)
             self._replan()
+        if self.recorder.enabled:
+            self.planner.finish_trace(self.clock.now)
+            committed = sum(1 for d in decisions if d.committed)
+            self.recorder.gauge(
+                "service_greenness_ratio",
+                "Committed fraction of the decisions this pump produced.",
+            ).set(committed / len(decisions) if decisions else 1.0)
+            self.recorder.finish_span(
+                pump_span, decisions=len(decisions), committed=committed
+            )
         return decisions
 
     def _replan(self) -> None:

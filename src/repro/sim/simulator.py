@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.changes.change import Change
 from repro.errors import SimulationError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.planner.controller import BuildController
 from repro.planner.planner import Decision, PlannerEngine
 from repro.planner.workers import WorkerPool
@@ -64,17 +65,20 @@ class Simulation:
         conflict_predicate: Callable[[Change, Change], bool],
         max_minutes: float = 60.0 * 24 * 365,
         epoch_minutes: float = 2.0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         """``epoch_minutes`` is the planner's re-selection cadence (the
         paper's planner "contacts the speculation engine on every epoch");
         completions still decide changes immediately."""
         if epoch_minutes <= 0:
             raise ValueError("epoch_minutes must be positive")
+        self.recorder = recorder
         self.planner = PlannerEngine(
             strategy=strategy,
             controller=controller,
             workers=WorkerPool(workers),
             conflict_predicate=conflict_predicate,
+            recorder=recorder,
         )
         self._max_minutes = max_minutes
         self._epoch_minutes = epoch_minutes
@@ -82,6 +86,8 @@ class Simulation:
         self._completion_handles: Dict[BuildKey, EventHandle] = {}
         self._next_plan_at = 0.0
         self._tick_scheduled = False
+        self._now = 0.0
+        recorder.bind_clock(lambda: self._now)
 
     def run(self, stream: Sequence[Tuple[float, Change]]) -> SimulationResult:
         """Simulate a (time, change) stream to drain and summarize it."""
@@ -97,6 +103,7 @@ class Simulation:
             handle = self._events.pop()
             assert handle is not None
             now = handle.time
+            self._now = now
             if now > self._max_minutes:
                 raise SimulationError(
                     f"simulation exceeded max horizon {self._max_minutes} min"
@@ -124,6 +131,8 @@ class Simulation:
                 last_decision_at = now
             self._maybe_replan(now)
 
+        if self.recorder.enabled:
+            self.planner.finish_trace(now)
         return self._summarize(now, max(0.0, last_decision_at - first_arrival),
                                arrival_window)
 

@@ -23,6 +23,8 @@ from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.changes.change import Change
 from repro.changes.state import ChangeRecord
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.registry import UNIT_BUCKETS
 from repro.predictor.predictors import Predictor
 from repro.speculation.probability import (
     conditional_success,
@@ -58,10 +60,18 @@ class SpeculationEngine:
         predictor: Predictor,
         benefit: Optional[BenefitFunction] = None,
         min_value: float = 1e-9,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self._predictor = predictor
         self._benefit = benefit if benefit is not None else (lambda change: 1.0)
         self._min_value = min_value
+        self._recorder = recorder
+        #: Nodes generated during the current selection round.
+        self._nodes_expanded = 0
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        """Attach an observability recorder (planner-injected)."""
+        self._recorder = recorder
 
     # -- probability plumbing ------------------------------------------------
 
@@ -123,6 +133,7 @@ class SpeculationEngine:
         # order (Speculate-all degenerates to breadth-first this way).
         enumerators: Dict[ChangeId, SubsetEnumerator] = {}
         merge_heap: List = []
+        self._nodes_expanded = 0
         for position, change in enumerate(pending):
             change_id = change.change_id
             all_ancestors = list(ancestors.get(change_id, ()))
@@ -150,11 +161,56 @@ class SpeculationEngine:
                 break
             self._push_next(merge_heap, enumerators[change_id], position, change_id)
             selected.append(self._score(node, changes_by_id, ancestors, records, decided))
+        if self._recorder.enabled:
+            self._record_selection(pending, enumerators, selected)
         return selected
+
+    def _record_selection(
+        self,
+        pending: Sequence[Change],
+        enumerators: Mapping[ChangeId, "SubsetEnumerator"],
+        selected: Sequence[ScoredBuild],
+    ) -> None:
+        """Publish one selection round's shape to the registry."""
+        recorder = self._recorder
+        recorder.counter(
+            "speculation_selections_total", "Speculation selection rounds."
+        ).inc()
+        recorder.counter(
+            "speculation_nodes_expanded_total",
+            "Speculation-tree nodes generated across all enumerators.",
+        ).inc(self._nodes_expanded)
+        recorder.gauge(
+            "speculation_pending_changes",
+            "Pending changes seen by the last selection round.",
+        ).set(len(pending))
+        recorder.gauge(
+            "speculation_tree_size",
+            "Per-change enumerators (speculation-tree roots) in the last "
+            "round.",
+        ).set(len(enumerators))
+        recorder.gauge(
+            "speculation_selected_builds",
+            "Builds selected in the last round.",
+        ).set(len(selected))
+        value_hist = recorder.histogram(
+            "speculation_build_value",
+            "Value of each selected build (Equations 1-5).",
+            buckets=UNIT_BUCKETS,
+        )
+        p_needed_hist = recorder.histogram(
+            "speculation_p_needed",
+            "P_needed of each selected build.",
+            buckets=UNIT_BUCKETS,
+        )
+        for build in selected:
+            value_hist.observe(build.value)
+            p_needed_hist.observe(build.p_needed)
 
     def _push_next(self, heap, enumerator, position: int, change_id: ChangeId) -> None:
         node = next(enumerator, None)
         if node is not None:
+            self._nodes_expanded += 1
             heapq.heappush(heap, (-node.value, position, change_id, node))
 
     def _score(

@@ -32,6 +32,10 @@ class SubmitQueueStrategy(Strategy):
         self.predictor = predictor
         self.engine = SpeculationEngine(predictor, benefit=benefit)
 
+    def bind_recorder(self, recorder) -> None:
+        """Forward the planner-injected recorder to the speculation engine."""
+        self.engine.bind_recorder(recorder)
+
     def select(self, view: PlannerView, budget: int) -> List[BuildKey]:
         scored = self.engine.select_builds(
             pending=view.pending,

@@ -1,7 +1,10 @@
 """Unit tests for metrics: percentiles, CDFs, collectors."""
 
+import math
+
 import pytest
 
+from repro.metrics.ascii_plot import sparkline
 from repro.metrics.cdf import Cdf
 from repro.metrics.collector import GreennessTracker, TurnaroundStats
 from repro.metrics.percentile import percentile, percentiles, summarize
@@ -26,6 +29,21 @@ class TestPercentiles:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+    def test_summarize_empty_is_explicit(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            summarize([])
+
+    def test_summarize_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            summarize([1.0, float("inf"), 2.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            summarize([float("nan")])
+
+    def test_summarize_single_sample(self):
+        summary = summarize([7.0])
+        assert summary["p50"] == summary["p99"] == summary["mean"] == 7.0
+        assert summary["count"] == 1
 
 
 class TestCdf:
@@ -71,6 +89,45 @@ class TestTurnaroundStats:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             TurnaroundStats().add(-1.0)
+
+    def test_normalize_empty_sides_rejected(self):
+        empty = TurnaroundStats()
+        full = TurnaroundStats()
+        full.extend([10.0] * 4)
+        with pytest.raises(ValueError, match="no turnaround samples"):
+            empty.normalized_against(full)
+        with pytest.raises(ValueError, match="empty baseline"):
+            full.normalized_against(empty)
+
+    def test_zero_baseline_is_nan_not_inf(self):
+        mine = TurnaroundStats()
+        mine.extend([20.0] * 4)
+        oracle = TurnaroundStats()
+        oracle.extend([0.0] * 4)
+        normalized = mine.normalized_against(oracle)
+        assert all(math.isnan(v) for v in normalized.values())
+
+
+class TestSparkline:
+    def test_empty_is_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_low_block(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+        assert line[0] != line[-1]
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_explicit_bounds_clamp(self):
+        line = sparkline([-10.0, 100.0], low=0.0, high=1.0)
+        assert len(line) == 2
 
 
 class TestGreennessTracker:

@@ -1,0 +1,137 @@
+"""Unit tests for the span tracer: nesting, ordering, exports."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.tracer import SpanTracer, chrome_trace_from_records
+
+
+class FakeClock:
+    """A settable simulated clock (minutes)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return SpanTracer(clock)
+
+
+class TestSpans:
+    def test_context_spans_nest(self, tracer, clock):
+        with tracer.span("pump") as pump:
+            clock.now = 1.0
+            with tracer.span("epoch") as epoch:
+                clock.now = 3.0
+        assert epoch.parent_id == pump.span_id
+        assert pump.parent_id is None
+        assert (pump.start, pump.end) == (0.0, 3.0)
+        assert (epoch.start, epoch.end) == (1.0, 3.0)
+        assert epoch.duration == 2.0
+
+    def test_explicit_span_outlives_parent_frame(self, tracer, clock):
+        with tracer.span("epoch") as epoch:
+            build = tracer.start("build", track="change:c1")
+            clock.now = 2.0
+        # The epoch closed; the build keeps running and still links to it.
+        clock.now = 9.0
+        tracer.finish(build, success=True)
+        assert build.parent_id == epoch.span_id
+        assert build.end == 9.0
+        assert build.attrs["success"] is True
+
+    def test_double_close_rejected(self, tracer):
+        span = tracer.start("s")
+        tracer.finish(span)
+        with pytest.raises(TraceError, match="already closed"):
+            tracer.finish(span)
+
+    def test_close_before_open_rejected(self, tracer, clock):
+        clock.now = 5.0
+        span = tracer.start("s")
+        with pytest.raises(TraceError, match="before it opened"):
+            tracer.finish(span, at=4.0)
+
+    def test_clock_rebinding(self, tracer):
+        span = tracer.start("s")
+        tracer.bind_clock(lambda: 42.0)
+        tracer.finish(span)
+        assert span.end == 42.0
+        assert tracer.now() == 42.0
+
+    def test_events_attach_to_current_span(self, tracer, clock):
+        with tracer.span("epoch") as epoch:
+            clock.now = 1.5
+            event = tracer.event("decision", verdict="committed")
+        outside = tracer.event("commit")
+        assert event.span_id == epoch.span_id
+        assert event.at == 1.5
+        assert outside.span_id is None
+
+    def test_finish_open_sweeps_leaks(self, tracer, clock):
+        tracer.start("a")
+        tracer.start("b")
+        clock.now = 7.0
+        assert tracer.finish_open() == 2
+        assert all(span.end == 7.0 for span in tracer.spans())
+        assert tracer.finish_open() == 0
+
+
+class TestExports:
+    def _sample(self, tracer, clock):
+        with tracer.span("pump") as pump:
+            clock.now = 1.0
+            with tracer.span("epoch", epoch=1):
+                build = tracer.start("build", track="change:c1")
+                clock.now = 2.0
+                tracer.event("decision", track="service")
+            clock.now = 4.0
+            tracer.finish(build)
+        return pump
+
+    def test_jsonl_records_sorted_and_typed(self, tracer, clock):
+        self._sample(tracer, clock)
+        records = tracer.to_jsonl_records()
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        assert len(spans) == 3 and len(events) == 1
+        starts = [r.get("start", r.get("at")) for r in records]
+        assert starts == sorted(starts)
+        assert {r["name"] for r in spans} == {"pump", "epoch", "build"}
+
+    def test_export_refuses_open_spans(self, tracer):
+        tracer.start("leaky")
+        with pytest.raises(TraceError, match="still open"):
+            tracer.to_jsonl_records()
+
+    def test_chrome_trace_structure(self, tracer, clock):
+        self._sample(tracer, clock)
+        trace = tracer.to_chrome_trace()
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3 and len(instants) == 1
+        # One thread_name record per distinct track.
+        assert {m["args"]["name"] for m in metadata} == {"service", "change:c1"}
+        # Simulated minutes scale to microseconds.
+        epoch = next(e for e in complete if e["name"] == "epoch")
+        assert epoch["ts"] == pytest.approx(60_000_000.0)
+        assert epoch["dur"] == pytest.approx(60_000_000.0)
+        # Parent links survive in args.
+        build = next(e for e in complete if e["name"] == "build")
+        assert "parent_span_id" in build["args"]
+
+    def test_chrome_trace_roundtrips_through_records(self, tracer, clock):
+        self._sample(tracer, clock)
+        records = tracer.to_jsonl_records()
+        assert chrome_trace_from_records(records) == tracer.to_chrome_trace()
