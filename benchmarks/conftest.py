@@ -29,6 +29,10 @@ _EMITTED = []
 #: the incremental-path perf trajectory is tracked across commits.
 _CONFLICT_BENCH: dict = {}
 
+#: Planner-throughput datapoints (warm vs cold plan() latency, epochs/sec
+#: at several queue depths), written to ``BENCH_planner.json``.
+_PLANNER_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -44,18 +48,28 @@ def record_conflict_bench(key: str, payload: dict) -> None:
     _CONFLICT_BENCH[key] = payload
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _CONFLICT_BENCH:
-        return
+def record_planner_bench(key: str, payload: dict) -> None:
+    """Record one planner-throughput datapoint for BENCH_planner.json."""
+    _PLANNER_BENCH[key] = payload
+
+
+def _write_bench_json(filename: str, kernels: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "kernels": _CONFLICT_BENCH,
+        "kernels": kernels,
     }
-    (RESULTS_DIR / "BENCH_conflict.json").write_text(
+    (RESULTS_DIR / filename).write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _CONFLICT_BENCH:
+        _write_bench_json("BENCH_conflict.json", _CONFLICT_BENCH)
+    if _PLANNER_BENCH:
+        _write_bench_json("BENCH_planner.json", _PLANNER_BENCH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

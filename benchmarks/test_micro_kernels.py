@@ -212,6 +212,10 @@ def test_benchmark_engine_selection_500_budget(benchmark):
     changes_by_id = {c.change_id: c for c in changes}
 
     def select():
+        # Keep this a *cold* kernel: the engine now answers repeated
+        # identical rounds from its carry-over, which would turn the
+        # benchmark into a fingerprint-comparison measurement.
+        engine.invalidate_carry_over()
         return engine.select_builds(
             pending=changes,
             ancestors=ancestors,

@@ -76,6 +76,99 @@ class PlannerStats:
     build_minutes: float = 0.0
     wasted_minutes: float = 0.0
     plan_calls: int = 0
+    #: Epochs answered by the input fingerprint without consulting the
+    #: strategy (see :meth:`PlannerEngine.plan`).
+    plan_calls_skipped: int = 0
+
+
+class _PlannerMetrics:
+    """Hoisted recorder handles for the planner's per-event instrumentation.
+
+    ``recorder.counter(...)`` does a family lookup (dict get + label-key
+    sort) on every call; the planner emits several per build and per
+    decision, so resolve each series once and reuse the handle.
+    """
+
+    __slots__ = (
+        "plan_calls",
+        "replans_skipped",
+        "queue_depth",
+        "workers_busy",
+        "worker_utilization",
+        "builds_started",
+        "steps_executed",
+        "steps_cached",
+        "builds_aborted",
+        "wasted_minutes",
+        "builds_completed",
+        "build_minutes",
+        "build_duration",
+        "decisions_committed",
+        "decisions_rejected",
+        "turnaround",
+    )
+
+    def __init__(self, recorder: Recorder) -> None:
+        self.plan_calls = recorder.counter(
+            "planner_plan_calls_total", "Planner epochs (plan() calls)."
+        )
+        self.replans_skipped = recorder.counter(
+            "planner_replans_skipped_total",
+            "Epochs answered by the input fingerprint without replanning.",
+        )
+        self.queue_depth = recorder.gauge(
+            "planner_queue_depth", "Pending changes at epoch start."
+        )
+        self.workers_busy = recorder.gauge(
+            "planner_workers_busy", "Busy workers after the epoch's starts."
+        )
+        self.worker_utilization = recorder.gauge(
+            "planner_worker_utilization",
+            "Busy fraction of the worker fleet after the epoch.",
+        )
+        self.builds_started = recorder.counter(
+            "planner_builds_started_total", "Speculative builds started."
+        )
+        self.steps_executed = recorder.counter(
+            "build_steps_executed_total",
+            "Build steps actually executed (cache misses).",
+        )
+        self.steps_cached = recorder.counter(
+            "build_steps_cached_total",
+            "Build steps eliminated via the artifact cache.",
+        )
+        self.builds_aborted = recorder.counter(
+            "planner_builds_aborted_total",
+            "Speculative builds aborted after deselection.",
+        )
+        self.wasted_minutes = recorder.counter(
+            "planner_wasted_minutes_total",
+            "Build minutes thrown away by aborts.",
+        )
+        self.builds_completed = recorder.counter(
+            "planner_builds_completed_total", "Speculative builds finished."
+        )
+        self.build_minutes = recorder.counter(
+            "planner_build_minutes_total", "Total build minutes spent."
+        )
+        self.build_duration = recorder.histogram(
+            "planner_build_duration_minutes",
+            "Durations of completed builds.",
+        )
+        self.decisions_committed = recorder.counter(
+            "planner_decisions_total",
+            "Terminal verdicts on changes.",
+            labels={"verdict": "committed"},
+        )
+        self.decisions_rejected = recorder.counter(
+            "planner_decisions_total",
+            "Terminal verdicts on changes.",
+            labels={"verdict": "rejected"},
+        )
+        self.turnaround = recorder.histogram(
+            "service_turnaround_minutes",
+            "Submission-to-decision turnaround.",
+        )
 
 
 class PlannerView:
@@ -168,6 +261,14 @@ class PlannerEngine:
         self.stats = PlannerStats()
         self._view = PlannerView(self)
         self._decision_log: List[Decision] = []
+        self._metrics = _PlannerMetrics(recorder) if recorder.enabled else None
+        #: Bumped by every applied reorder; pending-id changes cover the
+        #: other ancestry mutations (submission, decisions).
+        self._ancestry_version = 0
+        #: Epoch input fingerprint snapshotted at the *end* of the last
+        #: full plan() — every later state mutation (submit, complete,
+        #: reorder) perturbs at least one component relative to it.
+        self._last_plan_fingerprint: Optional[tuple] = None
 
     # -- submission ---------------------------------------------------------
 
@@ -213,39 +314,108 @@ class PlannerEngine:
             self.ancestors[ahead_id].remove(behind_id)
             behind_ancestors.append(ahead_id)
             return False
+        self._ancestry_version += 1
         return True
 
     def _ancestors_have_cycle(self) -> bool:
-        """Detect a cycle among *pending* changes' ancestor edges."""
+        """Detect a cycle among *pending* changes' ancestor edges.
+
+        Iterative DFS with an explicit stack: pending chains routinely
+        exceed Python's recursion limit (a 1000-deep queue is an ordinary
+        deep-queue benchmark, not a pathology).
+        """
         pending_ids = {change.change_id for change in self.queue}
         state: Dict[ChangeId, int] = {}  # 0=visiting, 1=done
-
-        def visit(node: ChangeId) -> bool:
-            mark = state.get(node)
-            if mark == 0:
-                return True  # back edge
-            if mark == 1:
-                return False
-            state[node] = 0
-            for ancestor in self.ancestors.get(node, ()):
-                if ancestor in pending_ids and visit(ancestor):
-                    return True
-            state[node] = 1
-            return False
-
-        return any(visit(cid) for cid in pending_ids)
+        for root in pending_ids:
+            if root in state:
+                continue
+            # Stack of (node, iterator over its remaining ancestors).
+            stack = [(root, iter(self.ancestors.get(root, ())))]
+            state[root] = 0
+            while stack:
+                node, ancestors_iter = stack[-1]
+                advanced = False
+                for ancestor in ancestors_iter:
+                    if ancestor not in pending_ids:
+                        continue
+                    mark = state.get(ancestor)
+                    if mark == 0:
+                        return True  # back edge
+                    if mark == 1:
+                        continue
+                    state[ancestor] = 0
+                    stack.append(
+                        (ancestor, iter(self.ancestors.get(ancestor, ())))
+                    )
+                    advanced = True
+                    break
+                if not advanced:
+                    state[node] = 1
+                    stack.pop()
+        return False
 
     # -- planning -----------------------------------------------------------
 
+    def _plan_fingerprint(self) -> tuple:
+        """Everything the next epoch's outcome depends on.
+
+        Pending ids capture arrivals, decisions, and queue order;
+        ``len(self.decided)`` captures new verdicts (decisions are
+        append-only and immutable); the running set captures starts,
+        aborts, and completions — and with it every ``ChangeRecord``
+        counter mutation, since those only move alongside a running-set
+        change.  The ancestry version covers reorders.
+        """
+        return (
+            tuple(change.change_id for change in self.queue),
+            len(self.decided),
+            frozenset(self.workers.running_builds()),
+            self.workers.capacity,
+            self._ancestry_version,
+        )
+
+    def invalidate_plan_cache(self) -> None:
+        """Force the next :meth:`plan` to replan from scratch.
+
+        Drops the epoch fingerprint and any incremental carry-over the
+        strategy holds (benchmarks use this to measure the cold path)."""
+        self._last_plan_fingerprint = None
+        invalidate = getattr(self.strategy, "invalidate_carry_over", None)
+        if invalidate is not None:
+            invalidate()
+
     def plan(self, now: float) -> "PlanResult":
-        """One epoch: select builds, abort stale ones, start new ones."""
+        """One epoch: select builds, abort stale ones, start new ones.
+
+        Epochs whose inputs are unchanged since the previous ``plan()``
+        (no arrival, completion, decision, or reorder) are *skipped*:
+        re-running a deterministic strategy over identical state starts
+        and aborts nothing, so the planner returns an empty
+        :class:`PlanResult` without consulting the strategy at all.
+        Strategies whose selection is not a pure function of the view
+        (call-count-dependent test doubles) opt out by setting
+        ``deterministic_select = False``.
+        """
         self.stats.plan_calls += 1
         if self.recorder.enabled:
             self._begin_epoch(now)
         propose = getattr(self.strategy, "propose_reorders", None)
         if propose is not None:
+            # Runs before the fingerprint check: proposals may mutate
+            # strategy state each epoch, and applied reorders bump the
+            # ancestry version (invalidating the fingerprint) themselves.
             for ahead_id, behind_id in propose(self._view):
                 self.reorder(ahead_id, behind_id)
+        fingerprint = self._plan_fingerprint()
+        if (
+            fingerprint == self._last_plan_fingerprint
+            and getattr(self.strategy, "deterministic_select", True)
+        ):
+            self.stats.plan_calls_skipped += 1
+            if self._metrics is not None:
+                self._metrics.replans_skipped.inc()
+                self._record_epoch(0, 0)
+            return PlanResult(started=[], aborted=[])
         budget = self.workers.capacity
         selected: List[BuildKey] = self.strategy.select(self._view, budget)
         selected_set = set(selected)
@@ -289,6 +459,10 @@ class PlannerEngine:
                 if existing is None or existing.aborted or not existing.done:
                     if not self.workers.is_running(key):
                         started.append(self._start(key, now))
+        # Snapshot at exit: the starts/aborts above already mutated the
+        # running set, so this fingerprint describes the state the *next*
+        # plan() will see if nothing happens in between.
+        self._last_plan_fingerprint = self._plan_fingerprint()
         if self.recorder.enabled:
             self._record_epoch(len(started), len(aborted))
         return PlanResult(started=started, aborted=aborted)
@@ -306,25 +480,18 @@ class PlannerEngine:
             queue_depth=len(self.queue),
             workers_busy=self.workers.busy,
         )
-        self.recorder.counter(
-            "planner_plan_calls_total", "Planner epochs (plan() calls)."
-        ).inc()
-        self.recorder.gauge(
-            "planner_queue_depth", "Pending changes at epoch start."
-        ).set(len(self.queue))
+        self._metrics.plan_calls.inc()
+        self._metrics.queue_depth.set(len(self.queue))
 
     def _record_epoch(self, started: int, aborted: int) -> None:
         """Attach this epoch's selection outcome to its span and gauges."""
         if self._epoch_span is not None:
             self._epoch_span.attrs["builds_started"] = started
             self._epoch_span.attrs["builds_aborted"] = aborted
-        self.recorder.gauge(
-            "planner_workers_busy", "Busy workers after the epoch's starts."
-        ).set(self.workers.busy)
-        self.recorder.gauge(
-            "planner_worker_utilization",
-            "Busy fraction of the worker fleet after the epoch.",
-        ).set(self.workers.busy / self.workers.capacity)
+        self._metrics.workers_busy.set(self.workers.busy)
+        self._metrics.worker_utilization.set(
+            self.workers.busy / self.workers.capacity
+        )
 
     def finish_trace(self, now: float) -> None:
         """Close the open epoch span (call when a run drains)."""
@@ -354,18 +521,10 @@ class PlannerEngine:
                 change_id=key.change_id,
                 assumed=len(key.assumed),
             )
-            self.recorder.counter(
-                "planner_builds_started_total", "Speculative builds started."
-            ).inc()
+            self._metrics.builds_started.inc()
             if execution.steps_executed or execution.steps_cached:
-                self.recorder.counter(
-                    "build_steps_executed_total",
-                    "Build steps actually executed (cache misses).",
-                ).inc(execution.steps_executed)
-                self.recorder.counter(
-                    "build_steps_cached_total",
-                    "Build steps eliminated via the artifact cache.",
-                ).inc(execution.steps_cached)
+                self._metrics.steps_executed.inc(execution.steps_executed)
+                self._metrics.steps_cached.inc(execution.steps_cached)
         return ScheduledBuild(key=key, duration=execution.duration)
 
     def _abort(self, key: BuildKey, now: float) -> None:
@@ -382,15 +541,11 @@ class PlannerEngine:
             if record is not None and record.span is not None:
                 self.recorder.finish_span(record.span, at=now, aborted=True)
                 record.span = None
-            self.recorder.counter(
-                "planner_builds_aborted_total",
-                "Speculative builds aborted after deselection.",
-            ).inc()
+            self._metrics.builds_aborted.inc()
             if record is not None:
-                self.recorder.counter(
-                    "planner_wasted_minutes_total",
-                    "Build minutes thrown away by aborts.",
-                ).inc(max(0.0, now - record.started_at))
+                self._metrics.wasted_minutes.inc(
+                    max(0.0, now - record.started_at)
+                )
 
     # -- completion & decisions -----------------------------------------------
 
@@ -409,16 +564,9 @@ class PlannerEngine:
                     record.span, at=now, success=record.execution.success
                 )
                 record.span = None
-            self.recorder.counter(
-                "planner_builds_completed_total", "Speculative builds finished."
-            ).inc()
-            self.recorder.counter(
-                "planner_build_minutes_total", "Total build minutes spent."
-            ).inc(record.execution.duration)
-            self.recorder.histogram(
-                "planner_build_duration_minutes",
-                "Durations of completed builds.",
-            ).observe(record.execution.duration)
+            self._metrics.builds_completed.inc()
+            self._metrics.build_minutes.inc(record.execution.duration)
+            self._metrics.build_duration.observe(record.execution.duration)
 
         change_record = self.records.get(key.change_id)
         if change_record is not None and not change_record.state.is_terminal:
@@ -516,16 +664,12 @@ class PlannerEngine:
         self._decision_log.append(decision)
         if self.recorder.enabled:
             verdict = "committed" if decision.committed else "rejected"
-            self.recorder.counter(
-                "planner_decisions_total",
-                "Terminal verdicts on changes.",
-                labels={"verdict": verdict},
-            ).inc()
+            if decision.committed:
+                self._metrics.decisions_committed.inc()
+            else:
+                self._metrics.decisions_rejected.inc()
             if record.turnaround is not None:
-                self.recorder.histogram(
-                    "service_turnaround_minutes",
-                    "Submission-to-decision turnaround.",
-                ).observe(record.turnaround)
+                self._metrics.turnaround.observe(record.turnaround)
             if self._epoch_span is not None:
                 self._epoch_span.attrs["decisions"] = (
                     int(self._epoch_span.attrs.get("decisions", 0)) + 1

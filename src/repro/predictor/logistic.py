@@ -141,6 +141,21 @@ class LogisticRegression:
         """P(label == 1) for a single feature vector."""
         return float(self.predict_proba(np.asarray(x, dtype=float)))
 
+    def predict_many(self, X: np.ndarray) -> np.ndarray:
+        """P(label == 1) for a batch of feature vectors, vectorized.
+
+        One standardize + matvec + sigmoid pass over the whole
+        (n_samples, n_features) matrix — callers with many cold samples
+        (the speculation engine's per-epoch ``p_success`` refresh) use
+        this instead of ``n`` ``predict_one`` round trips.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.size == 0:
+            return np.zeros(0, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("predict_many expects a 2-dimensional matrix")
+        return self.predict_proba(X)
+
     # -- introspection ----------------------------------------------------
 
     def standardized_weights(self) -> np.ndarray:

@@ -22,17 +22,56 @@ Implementations:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
+from repro.buildsys.cache import CacheStats
 from repro.changes.change import Change
 from repro.changes.state import ChangeRecord
 from repro.changes.truth import real_conflict
 from repro.predictor.features import FeatureExtractor
 from repro.predictor.logistic import LogisticRegression
 
+#: Default LRU capacity for the learned predictor's probability memos —
+#: ample for every simulation in the repo while bounding a long service
+#: run (the pair cache is quadratic in pending changes).
+DEFAULT_PREDICTOR_CACHE_CAPACITY = 1 << 16
+
 
 def _clamp(p: float) -> float:
     return min(1.0, max(0.0, p))
+
+
+class _LruCache:
+    """Bounded probability memo (the buildsys artifact-cache LRU idiom)."""
+
+    __slots__ = ("capacity", "_entries", "stats")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[float]:
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: tuple, value: float) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
 
 class Predictor(abc.ABC):
@@ -85,28 +124,74 @@ class LearnedPredictor(Predictor):
         success_model: LogisticRegression,
         conflict_model: LogisticRegression,
         extractor: Optional[FeatureExtractor] = None,
+        cache_capacity: int = DEFAULT_PREDICTOR_CACHE_CAPACITY,
     ) -> None:
         self._success_model = success_model
         self._conflict_model = conflict_model
         self.extractor = extractor if extractor is not None else FeatureExtractor()
         # Planner epochs re-ask the same probabilities thousands of times;
-        # cache per (change, dynamic counters) and per pair.  Caches are
-        # invalidated by the feedback hooks (developer history moved).
-        self._success_cache: dict = {}
-        self._conflict_cache: dict = {}
+        # cache per (change, dynamic counters) and per pair.  LRU-bounded
+        # so a long service run holds memory steady (the pair cache grows
+        # quadratically with pending changes otherwise).
+        self._success_cache = _LruCache(cache_capacity)
+        self._conflict_cache = _LruCache(cache_capacity)
 
-    def p_success(self, change: Change, record: Optional[ChangeRecord] = None) -> float:
-        key = (
+    @property
+    def cache_evictions(self) -> int:
+        """Entries evicted across both probability memos."""
+        return (
+            self._success_cache.stats.evictions
+            + self._conflict_cache.stats.evictions
+        )
+
+    @property
+    def cache_stats(self) -> Tuple[CacheStats, CacheStats]:
+        """(success-cache, conflict-cache) hit/miss/eviction counters."""
+        return self._success_cache.stats, self._conflict_cache.stats
+
+    @staticmethod
+    def _success_key(change: Change, record: Optional[ChangeRecord]) -> tuple:
+        return (
             change.change_id,
             record.speculations_succeeded if record else 0,
             record.speculations_failed if record else 0,
         )
+
+    def p_success(self, change: Change, record: Optional[ChangeRecord] = None) -> float:
+        key = self._success_key(change, record)
         cached = self._success_cache.get(key)
         if cached is None:
             vector = self.extractor.success_vector(change, record)
             cached = _clamp(self._success_model.predict_one(vector))
-            self._success_cache[key] = cached
+            self._success_cache.put(key, cached)
         return cached
+
+    def p_success_many(
+        self, pairs: Sequence[Tuple[Change, Optional[ChangeRecord]]]
+    ) -> List[float]:
+        """``p_success`` for a batch, answering cold entries vectorized.
+
+        Cache misses are gathered into one feature matrix and scored with
+        a single :meth:`LogisticRegression.predict_many` pass; hits come
+        from the memo exactly as :meth:`p_success` would return them.
+        """
+        values: List[Optional[float]] = []
+        cold_vectors: List[Sequence[float]] = []
+        cold_indices: List[int] = []
+        for index, (change, record) in enumerate(pairs):
+            cached = self._success_cache.get(self._success_key(change, record))
+            values.append(cached)
+            if cached is None:
+                cold_vectors.append(self.extractor.success_vector(change, record))
+                cold_indices.append(index)
+        if cold_indices:
+            predicted = self._success_model.predict_many(cold_vectors)
+            for index, raw in zip(cold_indices, predicted):
+                change, record = pairs[index]
+                value = _clamp(float(raw))
+                self._success_cache.put(self._success_key(change, record), value)
+                values[index] = value
+        return values  # type: ignore[return-value]  # every slot is filled now
 
     def p_conflict(self, first: Change, second: Change) -> float:
         key = (
@@ -118,7 +203,7 @@ class LearnedPredictor(Predictor):
         if cached is None:
             vector = self.extractor.conflict_vector(first, second)
             cached = _clamp(self._conflict_model.predict_one(vector))
-            self._conflict_cache[key] = cached
+            self._conflict_cache.put(key, cached)
         return cached
 
     # Feedback hooks: the planner calls these as changes decide so the

@@ -13,10 +13,16 @@ needed.  It combines:
   (greedy best-first, O(live changes) memory, section 7.1).
 """
 
-from repro.speculation.engine import ScoredBuild, SpeculationEngine
+from repro.speculation.engine import (
+    ScoredBuild,
+    SpeculationEngine,
+    SpeculationEngineStats,
+)
 from repro.speculation.probability import (
     conditional_success,
+    dirty_cone,
     estimate_commit_probabilities,
+    estimate_commit_probabilities_incremental,
     p_needed,
 )
 from repro.speculation.tree import SpeculationNode, SubsetEnumerator, enumerate_tree
@@ -24,10 +30,13 @@ from repro.speculation.tree import SpeculationNode, SubsetEnumerator, enumerate_
 __all__ = [
     "ScoredBuild",
     "SpeculationEngine",
+    "SpeculationEngineStats",
     "SpeculationNode",
     "SubsetEnumerator",
     "conditional_success",
+    "dirty_cone",
     "enumerate_tree",
     "estimate_commit_probabilities",
+    "estimate_commit_probabilities_incremental",
     "p_needed",
 ]

@@ -49,6 +49,13 @@ class SubsetEnumerator:
 
     ``known`` ancestors (already decided) are folded into every key:
     committed ones are always assumed, rejected ones never.
+
+    Every generated node is memoized, so the enumerator can be *replayed*
+    across planner epochs: :meth:`replay` returns an iterator that walks
+    the already-expanded prefix for free and only then resumes heap
+    expansion.  The speculation engine keys this reuse on the enumerator's
+    input fingerprint — identical inputs generate an identical sequence,
+    so replay is exactly equivalent to rebuilding from scratch.
     """
 
     def __init__(
@@ -83,7 +90,10 @@ class SubsetEnumerator:
         # Heap entries: (-probability, flip_tuple).  flip_tuple is a sorted
         # tuple of flipped indices; children extend or slide the last index.
         self._heap: List[Tuple[float, Tuple[int, ...]]] = [(-base_probability, ())]
-        self._emitted = 0
+        #: All nodes generated so far, in emission (non-increasing value)
+        #: order; replay cursors read this prefix before expanding more.
+        self._nodes: List[SpeculationNode] = []
+        self._cursor = 0
 
     def _probability_of(self, flips: Tuple[int, ...]) -> float:
         probability = self._base_probability
@@ -100,12 +110,15 @@ class SubsetEnumerator:
                 assumed.add(ancestor_id)
         return BuildKey(self._change_id, frozenset(assumed))
 
-    def __iter__(self) -> Iterator[SpeculationNode]:
-        return self
+    @property
+    def generated_count(self) -> int:
+        """Nodes materialized so far (cached prefix length)."""
+        return len(self._nodes)
 
-    def __next__(self) -> SpeculationNode:
+    def _generate_next(self) -> Optional[SpeculationNode]:
+        """Expand the heap by one node, memoizing it; None when exhausted."""
         if not self._heap:
-            raise StopIteration
+            return None
         neg_probability, flips = heapq.heappop(self._heap)
         probability = -neg_probability
         n = len(self._ancestor_ids)
@@ -118,12 +131,45 @@ class SubsetEnumerator:
         if flips and last + 1 < n:
             slid = flips[:-1] + (last + 1,)
             heapq.heappush(self._heap, (-self._probability_of(slid), slid))
-        self._emitted += 1
-        return SpeculationNode(
+        node = SpeculationNode(
             key=self._key_for(flips),
             p_needed=probability,
             value=probability * self._benefit,
         )
+        self._nodes.append(node)
+        return node
+
+    def node_at(self, index: int) -> Optional[SpeculationNode]:
+        """The ``index``-th node in value order, expanding lazily."""
+        while len(self._nodes) <= index:
+            if self._generate_next() is None:
+                return None
+        return self._nodes[index]
+
+    def replay(self) -> Iterator[SpeculationNode]:
+        """A fresh iterator over the full sequence from the beginning.
+
+        Already-generated nodes come from the memoized prefix (no heap
+        work); continuing past it resumes expansion where the enumerator
+        last stopped.
+        """
+        index = 0
+        while True:
+            node = self.node_at(index)
+            if node is None:
+                return
+            yield node
+            index += 1
+
+    def __iter__(self) -> Iterator[SpeculationNode]:
+        return self
+
+    def __next__(self) -> SpeculationNode:
+        node = self.node_at(self._cursor)
+        if node is None:
+            raise StopIteration
+        self._cursor += 1
+        return node
 
 
 def enumerate_tree(

@@ -37,6 +37,7 @@ class _FlipFlopStrategy(Strategy):
     """Selects a build on odd calls, nothing on even calls."""
 
     name = "flipflop"
+    deterministic_select = False  # call-count dependent: no replan skip
 
     def __init__(self, key):
         self.key = key

@@ -1,0 +1,519 @@
+"""Unit tests for incremental epoch planning.
+
+Covers the four incremental layers this subsystem stacks:
+
+* the speculation engine's selection fingerprint (a no-op epoch performs
+  zero predictor calls and returns the identical selection);
+* dirty-set commit probabilities (only the downstream cone of changed
+  inputs is re-swept; reused values are bit-identical);
+* enumerator carry-over across epochs;
+* the planner's epoch fingerprint (unchanged inputs never consult the
+  strategy) plus the iterative cycle check it relies on for deep queues.
+"""
+
+import pytest
+
+from repro.changes.change import Change, Developer, GroundTruth, next_change_id
+from repro.changes.state import ChangeRecord
+from repro.changes.truth import potential_conflict
+from repro.obs.recorder import Recorder
+from repro.planner.controller import LabelBuildController
+from repro.planner.planner import PlannerEngine
+from repro.planner.workers import WorkerPool
+from repro.predictor.predictors import Predictor, StaticPredictor
+from repro.sim.simulator import Simulation
+from repro.speculation.engine import SpeculationEngine
+from repro.speculation.probability import (
+    dirty_cone,
+    estimate_commit_probabilities,
+    estimate_commit_probabilities_incremental,
+)
+from repro.strategies.single_queue import SingleQueueStrategy
+from repro.strategies.submitqueue import SubmitQueueStrategy
+
+DEV = Developer("dev1")
+
+
+def labeled(targets=("//m",), ok=True, rate=0.0, salt=0, duration=30.0):
+    return Change(
+        change_id=next_change_id(),
+        revision_id="R1",
+        developer=DEV,
+        ground_truth=GroundTruth(
+            individually_ok=ok,
+            target_names=frozenset(targets),
+            conflict_salt=salt,
+            real_conflict_rate=rate,
+        ),
+        build_duration=duration,
+    )
+
+
+class CountingPredictor(Predictor):
+    """Delegates to an inner predictor, counting every model call."""
+
+    def __init__(self, inner: Predictor) -> None:
+        self.inner = inner
+        self.success_calls = 0
+        self.conflict_calls = 0
+
+    @property
+    def calls(self) -> int:
+        return self.success_calls + self.conflict_calls
+
+    def p_success(self, change, record=None):
+        self.success_calls += 1
+        return self.inner.p_success(change, record)
+
+    def p_conflict(self, first, second):
+        self.conflict_calls += 1
+        return self.inner.p_conflict(first, second)
+
+
+def build_queue(n=6, conflict_rate=0.5):
+    """A pending queue where consecutive changes share a target (a chain)."""
+    pending = []
+    ancestors = {}
+    for i in range(n):
+        change = labeled(targets=(f"//t{i}", f"//t{i + 1}"), salt=i)
+        ancestors[change.change_id] = (
+            [pending[-1].change_id] if pending else []
+        )
+        pending.append(change)
+    return pending, ancestors
+
+
+def engine_inputs(pending):
+    changes_by_id = {c.change_id: c for c in pending}
+    records = {c.change_id: ChangeRecord(change=c) for c in pending}
+    return changes_by_id, records
+
+
+class TestEngineFingerprint:
+    def test_noop_epoch_zero_predictor_calls_same_selection(self):
+        predictor = CountingPredictor(StaticPredictor(0.8, 0.3))
+        engine = SpeculationEngine(predictor)
+        pending, ancestors = build_queue(6)
+        changes_by_id, records = engine_inputs(pending)
+
+        first = engine.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        calls_after_first = predictor.calls
+        assert calls_after_first > 0
+        second = engine.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        assert predictor.calls == calls_after_first  # zero new model calls
+        assert second == first  # same builds, same order, same values
+        assert engine.stats.skipped_replans == 1
+
+    def test_skip_result_is_a_copy(self):
+        engine = SpeculationEngine(StaticPredictor(0.8, 0.3))
+        pending, ancestors = build_queue(4)
+        changes_by_id, records = engine_inputs(pending)
+        first = engine.select_builds(
+            pending, ancestors, records, {}, budget=4, changes_by_id=changes_by_id
+        )
+        first.clear()  # caller mutates its list...
+        second = engine.select_builds(
+            pending, ancestors, records, {}, budget=4, changes_by_id=changes_by_id
+        )
+        assert second  # ...without corrupting the engine's memo
+
+    def test_budget_change_invalidates_fingerprint(self):
+        engine = SpeculationEngine(StaticPredictor(0.8, 0.3))
+        pending, ancestors = build_queue(5)
+        changes_by_id, records = engine_inputs(pending)
+        engine.select_builds(
+            pending, ancestors, records, {}, budget=2, changes_by_id=changes_by_id
+        )
+        bigger = engine.select_builds(
+            pending, ancestors, records, {}, budget=6, changes_by_id=changes_by_id
+        )
+        assert engine.stats.skipped_replans == 0
+        assert len(bigger) > 2
+
+    def test_counter_change_invalidates_and_matches_cold_engine(self):
+        shared = StaticPredictor(0.8, 0.3)
+        warm = SpeculationEngine(shared)
+        pending, ancestors = build_queue(6)
+        changes_by_id, records = engine_inputs(pending)
+        warm.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        # A completed speculation moves one change's dynamic counters.
+        records[pending[2].change_id].speculations_succeeded += 1
+        incremental = warm.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        cold = SpeculationEngine(shared).select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        assert incremental == cold
+        assert warm.stats.skipped_replans == 0
+        assert warm.stats.commit_prob_reused > 0  # upstream of the dirty change
+
+    def test_decision_invalidates_and_matches_cold_engine(self):
+        shared = StaticPredictor(0.8, 0.3)
+        warm = SpeculationEngine(shared)
+        pending, ancestors = build_queue(6)
+        changes_by_id, records = engine_inputs(pending)
+        warm.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        decided = {pending[0].change_id: True}
+        still_pending = pending[1:]
+        incremental = warm.select_builds(
+            still_pending, ancestors, records, decided, budget=8,
+            changes_by_id=changes_by_id,
+        )
+        cold = SpeculationEngine(shared).select_builds(
+            still_pending, ancestors, records, decided, budget=8,
+            changes_by_id=changes_by_id,
+        )
+        assert incremental == cold
+
+    def test_invalidate_carry_over_forces_cold_round(self):
+        predictor = CountingPredictor(StaticPredictor(0.8, 0.3))
+        engine = SpeculationEngine(predictor)
+        pending, ancestors = build_queue(4)
+        changes_by_id, records = engine_inputs(pending)
+        first = engine.select_builds(
+            pending, ancestors, records, {}, budget=4, changes_by_id=changes_by_id
+        )
+        calls = predictor.calls
+        engine.invalidate_carry_over()
+        second = engine.select_builds(
+            pending, ancestors, records, {}, budget=4, changes_by_id=changes_by_id
+        )
+        assert predictor.calls > calls  # really recomputed
+        assert second == first
+        assert engine.stats.skipped_replans == 0
+
+
+class TestEnumeratorCarryOver:
+    def test_unrelated_arrival_reuses_enumerators(self):
+        engine = SpeculationEngine(StaticPredictor(0.8, 0.3))
+        pending, ancestors = build_queue(5)
+        changes_by_id, records = engine_inputs(pending)
+        engine.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        built_cold = engine.stats.enumerators_rebuilt
+        assert built_cold == 5
+        # An independent newcomer perturbs nobody's ancestors or P_commit.
+        newcomer = labeled(targets=("//island",))
+        pending = pending + [newcomer]
+        ancestors = dict(ancestors)
+        ancestors[newcomer.change_id] = []
+        changes_by_id, records2 = engine_inputs(pending)
+        records.update({newcomer.change_id: records2[newcomer.change_id]})
+        engine.select_builds(
+            pending, ancestors, records, {}, budget=8, changes_by_id=changes_by_id
+        )
+        assert engine.stats.enumerators_reused == 5  # all five carried over
+        assert engine.stats.enumerators_rebuilt == built_cold + 1  # newcomer
+        assert engine.stats.nodes_replayed > 0
+
+
+class TestObsCounters:
+    def test_incremental_counters_reach_the_registry(self):
+        recorder = Recorder(clock=lambda: 0.0)
+        engine = SpeculationEngine(StaticPredictor(0.8, 0.3))
+        engine.bind_recorder(recorder)
+        pending, ancestors = build_queue(4)
+        changes_by_id, records = engine_inputs(pending)
+        for _ in range(3):
+            engine.select_builds(
+                pending, ancestors, records, {}, budget=4,
+                changes_by_id=changes_by_id,
+            )
+        registry = recorder.registry
+        assert "skipped_replans_total" in registry
+        assert "commit_prob_reused_total" in registry
+        assert registry.counter("skipped_replans_total").value == 2.0
+        assert engine.stats.skipped_replans == 2
+        assert engine.stats.skip_rate == pytest.approx(2 / 3)
+
+
+class TestIncrementalProbabilities:
+    def test_dirty_cone_is_downstream_closure(self):
+        order = ["a", "b", "c", "d", "e"]
+        ancestors = {"b": ["a"], "c": ["b"], "d": [], "e": ["d", "c"]}
+        assert dirty_cone(order, ancestors, {"b"}) == {"b", "c", "e"}
+        assert dirty_cone(order, ancestors, {"d"}) == {"d", "e"}
+        assert dirty_cone(order, ancestors, set()) == set()
+
+    def test_incremental_sweep_matches_full_and_counts_reuse(self):
+        order = ["a", "b", "c", "d", "e"]
+        ancestors = {"b": ["a"], "c": ["b"], "d": [], "e": ["d", "c"]}
+        p_success = {"a": 0.9, "b": 0.8, "c": 0.7, "d": 0.6, "e": 0.95}
+
+        def succ(cid):
+            return p_success[cid]
+
+        def conf(first, second):
+            return 0.25
+
+        previous = estimate_commit_probabilities(order, ancestors, succ, conf)
+        p_success["d"] = 0.1  # d's inputs moved; a, b, c are untouched
+        full = estimate_commit_probabilities(order, ancestors, succ, conf)
+        result, reused = estimate_commit_probabilities_incremental(
+            order, ancestors, succ, conf, previous=previous, dirty={"d"}
+        )
+        assert result == full
+        assert reused == 3  # a, b, c outside the cone {d, e}
+
+    def test_no_previous_falls_back_to_full(self):
+        order = ["a"]
+        result, reused = estimate_commit_probabilities_incremental(
+            order, {}, lambda cid: 0.5, lambda f, s: 0.0
+        )
+        assert reused == 0
+        assert result == {"a": 0.5}
+
+
+class TestPredictorCaches:
+    @staticmethod
+    def make_learned(cache_capacity=None):
+        import numpy as np
+
+        from repro.predictor.features import CONFLICT_FEATURES, SUCCESS_FEATURES
+        from repro.predictor.logistic import LogisticRegression
+        from repro.predictor.predictors import LearnedPredictor
+
+        smodel = LogisticRegression().fit(
+            np.array([[0.0] * len(SUCCESS_FEATURES), [1.0] * len(SUCCESS_FEATURES)]),
+            np.array([0, 1]),
+        )
+        cmodel = LogisticRegression().fit(
+            np.array([[0.0] * len(CONFLICT_FEATURES), [1.0] * len(CONFLICT_FEATURES)]),
+            np.array([0, 1]),
+        )
+        kwargs = {}
+        if cache_capacity is not None:
+            kwargs["cache_capacity"] = cache_capacity
+        return LearnedPredictor(smodel, cmodel, **kwargs)
+
+    def test_lru_bounds_the_success_cache(self):
+        predictor = self.make_learned(cache_capacity=4)
+        changes = [labeled((f"//c{i}",), salt=i) for i in range(10)]
+        values = {c.change_id: predictor.p_success(c) for c in changes}
+        success_stats, _ = predictor.cache_stats
+        assert len(predictor._success_cache) == 4
+        assert predictor.cache_evictions == 6
+        assert success_stats.evictions == 6
+        # Evicted entries recompute to the same value.
+        assert predictor.p_success(changes[0]) == values[changes[0].change_id]
+
+    def test_lru_bounds_the_conflict_cache(self):
+        predictor = self.make_learned(cache_capacity=3)
+        changes = [labeled((f"//c{i}",), salt=i) for i in range(5)]
+        for other in changes[1:]:
+            predictor.p_conflict(changes[0], other)
+        assert len(predictor._conflict_cache) == 3
+        _, conflict_stats = predictor.cache_stats
+        assert conflict_stats.evictions == 1
+
+    def test_cache_hits_counted(self):
+        predictor = self.make_learned()
+        change = labeled(("//hit",))
+        predictor.p_success(change)
+        predictor.p_success(change)
+        success_stats, _ = predictor.cache_stats
+        assert success_stats.hits == 1
+        assert success_stats.misses == 1
+
+    def test_predict_many_matches_predict_one(self):
+        import numpy as np
+
+        from repro.predictor.logistic import LogisticRegression
+
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(40, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        batch = rng.normal(size=(15, 3))
+        many = model.predict_many(batch)
+        singles = [model.predict_one(row) for row in batch]
+        assert many.shape == (15,)
+        assert singles == pytest.approx(list(many), abs=1e-12)
+        assert model.predict_many(np.empty((0, 3))).shape == (0,)
+        with pytest.raises(ValueError):
+            model.predict_many(batch[0])
+
+    def test_p_success_many_matches_scalar_path_and_fills_cache(self):
+        scalar = self.make_learned()
+        batched = self.make_learned()
+        changes = [labeled((f"//c{i}",), salt=i) for i in range(8)]
+        records = {c.change_id: ChangeRecord(change=c) for c in changes}
+        records[changes[3].change_id].speculations_failed = 2
+        pairs = [(c, records[c.change_id]) for c in changes]
+        expected = [scalar.p_success(c, r) for c, r in pairs]
+        assert batched.p_success_many(pairs) == pytest.approx(expected, abs=1e-12)
+        # The batch filled the memo: scalar lookups are now pure hits.
+        success_stats, _ = batched.cache_stats
+        misses_after_batch = success_stats.misses
+        assert [batched.p_success(c, r) for c, r in pairs] == pytest.approx(
+            expected, abs=1e-12
+        )
+        assert success_stats.misses == misses_after_batch
+
+    def test_p_success_many_mixed_hits_and_misses(self):
+        predictor = self.make_learned()
+        changes = [labeled((f"//c{i}",), salt=i) for i in range(6)]
+        pairs = [(c, None) for c in changes]
+        warm = {c.change_id: predictor.p_success(c) for c in changes[:3]}
+        values = predictor.p_success_many(pairs)
+        for change, value in zip(changes[:3], values[:3]):
+            assert value == warm[change.change_id]  # hits are byte-identical
+        assert len(values) == 6
+
+
+class SpyStrategy(SingleQueueStrategy):
+    """Counts select() calls; selection itself is pure like production."""
+
+    select_calls = 0
+
+    def select(self, view, budget):
+        type(self).select_calls += 1
+        return super().select(view, budget)
+
+
+class TestPlannerFingerprint:
+    def make_planner(self, strategy, workers=4):
+        return PlannerEngine(
+            strategy=strategy,
+            controller=LabelBuildController(),
+            workers=WorkerPool(workers),
+            conflict_predicate=potential_conflict,
+        )
+
+    def test_noop_epoch_skips_the_strategy(self):
+        SpyStrategy.select_calls = 0
+        planner = self.make_planner(SpyStrategy())
+        planner.submit(labeled(("//x",)), 0.0)
+        planner.submit(labeled(("//y",)), 0.0)
+        first = planner.plan(0.0)
+        assert len(first.started) == 2
+        assert SpyStrategy.select_calls == 1
+        second = planner.plan(1.0)
+        assert second.started == [] and second.aborted == []
+        assert SpyStrategy.select_calls == 1  # not consulted again
+        assert planner.stats.plan_calls == 2
+        assert planner.stats.plan_calls_skipped == 1
+
+    def test_completion_invalidates_the_fingerprint(self):
+        SpyStrategy.select_calls = 0
+        planner = self.make_planner(SpyStrategy())
+        change = labeled(("//x",))
+        planner.submit(change, 0.0)
+        key = planner.plan(0.0).started[0].key
+        planner.plan(1.0)  # skipped
+        planner.complete(key, 30.0)
+        planner.submit(labeled(("//z",)), 30.0)
+        planner.plan(30.0)
+        assert SpyStrategy.select_calls == 2
+        assert planner.stats.plan_calls_skipped == 1
+
+    def test_invalidate_plan_cache_forces_replan(self):
+        SpyStrategy.select_calls = 0
+        planner = self.make_planner(SpyStrategy())
+        planner.submit(labeled(("//x",)), 0.0)
+        planner.plan(0.0)
+        planner.invalidate_plan_cache()
+        planner.plan(1.0)
+        assert SpyStrategy.select_calls == 2
+        assert planner.stats.plan_calls_skipped == 0
+
+    def test_skip_records_epoch_metrics(self):
+        recorder = Recorder(clock=lambda: 0.0)
+        planner = PlannerEngine(
+            strategy=SingleQueueStrategy(),
+            controller=LabelBuildController(),
+            workers=WorkerPool(2),
+            conflict_predicate=potential_conflict,
+            recorder=recorder,
+        )
+        planner.submit(labeled(("//x",)), 0.0)
+        planner.plan(0.0)
+        planner.plan(1.0)
+        registry = recorder.registry
+        assert registry.counter("planner_plan_calls_total").value == 2.0
+        assert registry.counter("planner_replans_skipped_total").value == 1.0
+        planner.finish_trace(2.0)
+
+
+class TestLongChainCycleCheck:
+    def test_deep_chain_reorder_does_not_recurse(self):
+        # A 1500-deep ancestor chain blows Python's default recursion
+        # limit if the cycle check recurses; the iterative walk must not.
+        planner = PlannerEngine(
+            strategy=SingleQueueStrategy(),
+            controller=LabelBuildController(),
+            workers=WorkerPool(1),
+            conflict_predicate=lambda a, b: True,  # everyone conflicts
+        )
+        n = 1500
+        chain = []
+        for i in range(n):
+            change = labeled(("//deep",), salt=i)
+            # Bypass submit(): the O(n^2) conflict-graph scan is not under
+            # test, the cycle walk over planner.ancestors is.
+            planner.queue.enqueue(change)
+            planner.ancestors[change.change_id] = (
+                [chain[-1].change_id] if chain else []
+            )
+            chain.append(change)
+        # Give the tail a second ancestor so a reorder can close a triangle.
+        x, y, z = (c.change_id for c in chain[-3:])
+        planner.ancestors[z] = [x, y]
+        assert planner._ancestors_have_cycle() is False
+        # z jumping x would leave x -> z -> y -> x: caught and rolled back
+        # (the check walks the whole 1500-deep chain without recursing).
+        assert not planner.reorder(x, z)
+        # Rollback restores the edge set (append order is not preserved).
+        assert set(planner.ancestors[z]) == {x, y}
+        # An adjacent swap closes no cycle and is applied.
+        assert planner.reorder(y, z)
+        assert z in planner.ancestors[y] and y not in planner.ancestors[z]
+
+
+class TestSimulationModes:
+    @staticmethod
+    def stream():
+        return [
+            (float(i), labeled((f"//s{i % 3}",), salt=i)) for i in range(8)
+        ]
+
+    def make_sim(self, **kwargs):
+        return Simulation(
+            strategy=SubmitQueueStrategy(StaticPredictor(0.9, 0.2)),
+            controller=LabelBuildController(),
+            workers=4,
+            conflict_predicate=potential_conflict,
+            **kwargs,
+        )
+
+    def test_eager_replan_matches_default_verdicts(self):
+        eager = self.make_sim(eager_replan=True).run(self.stream())
+        default = self.make_sim().run(self.stream())
+        assert eager.changes_committed + eager.changes_rejected == 8
+        # Replanning on every event batch may start builds earlier, but
+        # verdicts are decided by the same decisive-build rule.
+        assert eager.changes_committed == default.changes_committed
+        assert eager.changes_rejected == default.changes_rejected
+
+    def test_polling_caller_gets_skipped_replans(self):
+        # A service polling plan() between events (the benchmark's warm
+        # path) pays only the fingerprint comparison per poll.
+        sim = self.make_sim()
+        sim.planner.submit(labeled(("//poll",)), 0.0)
+        sim.planner.plan(0.0)
+        for minute in range(1, 6):
+            sim.planner.plan(float(minute))
+        assert sim.planner.stats.plan_calls == 6
+        assert sim.planner.stats.plan_calls_skipped == 5
+        engine = sim.planner.strategy.engine
+        assert engine.stats.selections == 1  # never re-consulted

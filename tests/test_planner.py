@@ -148,6 +148,7 @@ class TestAbort:
         class FickleStrategy(SingleQueueStrategy):
             # Selects nothing on even calls to force aborts.
             calls = 0
+            deterministic_select = False  # call-count dependent: no skip
 
             def select(self, view, budget):
                 type(self).calls += 1
