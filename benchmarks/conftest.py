@@ -33,6 +33,11 @@ _CONFLICT_BENCH: dict = {}
 #: at several queue depths), written to ``BENCH_planner.json``.
 _PLANNER_BENCH: dict = {}
 
+#: Executor-throughput datapoints (warm vs cold build latency, prefix-hit
+#: rates, builds/sec by speculation depth, and the figure-12-style
+#: end-to-end cell), written to ``BENCH_exec.json``.
+_EXEC_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -53,6 +58,11 @@ def record_planner_bench(key: str, payload: dict) -> None:
     _PLANNER_BENCH[key] = payload
 
 
+def record_exec_bench(key: str, payload: dict) -> None:
+    """Record one executor-throughput datapoint for BENCH_exec.json."""
+    _EXEC_BENCH[key] = payload
+
+
 def _write_bench_json(filename: str, kernels: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {
@@ -70,6 +80,8 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_json("BENCH_conflict.json", _CONFLICT_BENCH)
     if _PLANNER_BENCH:
         _write_bench_json("BENCH_planner.json", _PLANNER_BENCH)
+    if _EXEC_BENCH:
+        _write_bench_json("BENCH_exec.json", _EXEC_BENCH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

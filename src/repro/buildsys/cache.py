@@ -51,7 +51,10 @@ class ArtifactCache:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[str, StepKind], StepResult]" = (
+        # Each entry stores both spellings of the result — (un-cached as
+        # put, cached-marked as get returns) — so a hit hands back a stored
+        # object instead of allocating a dataclass copy per lookup.
+        self._entries: "OrderedDict[Tuple[str, StepKind], Tuple[StepResult, StepResult]]" = (
             OrderedDict()
         )
         self.stats = CacheStats()
@@ -62,18 +65,19 @@ class ArtifactCache:
     def get(self, digest: str, kind: StepKind) -> Optional[StepResult]:
         """The cached result, marked ``cached=True``, or None on a miss."""
         key = (digest, kind)
-        result = self._entries.get(key)
-        if result is None:
+        entry = self._entries.get(key)
+        if entry is None:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return replace(result, cached=True)
+        return entry[1]
 
     def put(self, digest: str, kind: StepKind, result: StepResult) -> None:
         """Store one step result (stored un-cached; ``get`` adds the mark)."""
         key = (digest, kind)
-        self._entries[key] = replace(result, cached=False)
+        stored = result if not result.cached else replace(result, cached=False)
+        self._entries[key] = (stored, replace(stored, cached=True))
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

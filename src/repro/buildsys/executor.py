@@ -1,25 +1,29 @@
-"""The build executor: full, subset, and affected-only builds.
+"""The build executor: full, subset, affected-only, and context builds.
 
 Drives :func:`repro.buildsys.steps.evaluate_step` over a snapshot's graph
 in dependency-first order, consulting the artifact cache before every
-step.  Two entry points matter to SubmitQueue:
+step.  Three entry points matter to SubmitQueue:
 
 * :meth:`BuildExecutor.build` — everything (or a target subset plus its
   dependency closure): what "the mainline is green" means for one commit;
 * :meth:`BuildExecutor.build_affected` — only the hash-delta between two
   snapshots: what a speculative build actually runs (section 6.2), with
-  prior builds' work eliminated via cache hits.
+  prior builds' work eliminated via cache hits;
+* :meth:`BuildExecutor.build_between` — the same delta build over
+  pre-derived :class:`BuildContext` objects, so the O(repo) graph load and
+  whole-snapshot hashing are paid once per mainline head instead of once
+  per build.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.buildsys.cache import ArtifactCache
 from repro.buildsys.graph import BuildGraph
-from repro.buildsys.hashing import TargetHasher
-from repro.buildsys.loader import load_build_graph
+from repro.buildsys.hashing import TargetHasher, incremental_hashes
+from repro.buildsys.loader import load_build_graph, reload_packages
 from repro.buildsys.steps import StepResult, evaluate_step
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.types import Path, TargetName
@@ -27,34 +31,208 @@ from repro.types import Path, TargetName
 
 @dataclass
 class BuildReport:
-    """Everything one build did: per-step results and targets covered."""
+    """Everything one build did: per-step results and targets covered.
+
+    ``success``/``steps_executed``/``steps_cached`` are running counters
+    maintained by :meth:`append` (and seeded from any ``results`` passed to
+    the constructor) — the planner reads them once per build in its hot
+    loop, so they must not re-scan ``results`` on access.
+    """
 
     results: List[StepResult] = field(default_factory=list)
     targets_built: List[TargetName] = field(default_factory=list)
+    _executed: int = field(default=0, init=False, repr=False, compare=False)
+    _cached: int = field(default=0, init=False, repr=False, compare=False)
+    _first_failure: Optional[StepResult] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        seeded = self.results
+        self.results = []
+        for result in seeded:
+            self.append(result)
+
+    def append(self, result: StepResult) -> None:
+        """Record one step result, keeping the running counters in sync."""
+        self.results.append(result)
+        if result.cached:
+            self._cached += 1
+        else:
+            self._executed += 1
+        if not result.passed and self._first_failure is None:
+            self._first_failure = result
 
     @property
     def success(self) -> bool:
         """True when every executed-or-reused step passed (vacuously true)."""
-        return all(result.passed for result in self.results)
+        return self._first_failure is None
 
     def failures(self) -> List[StepResult]:
         return [result for result in self.results if not result.passed]
 
     def first_failure(self) -> Optional[StepResult]:
-        for result in self.results:
-            if not result.passed:
-                return result
-        return None
+        return self._first_failure
 
     @property
     def steps_executed(self) -> int:
         """Steps actually evaluated (cache misses)."""
-        return sum(1 for result in self.results if not result.cached)
+        return self._executed
 
     @property
     def steps_cached(self) -> int:
         """Steps satisfied from the artifact cache."""
-        return sum(1 for result in self.results if result.cached)
+        return self._cached
+
+
+class BuildContext:
+    """One snapshot's loaded graph and Algorithm-1 hash map, derivable in O(delta).
+
+    A context created with :meth:`load` pays the full ``load_build_graph``
+    + ``all_hashes`` cost once; every context derived from it with
+    :meth:`derive` pays only for the touched packages and the dirty
+    reverse-dependency closure (the same machinery the conflict analyzer
+    uses).  Contexts are immutable value holders — safe to memoize per
+    base commit and per speculation prefix.
+
+    ``dirty_since_base`` accumulates the union of dirty closures along the
+    derivation chain back to the root context: any target whose digest can
+    differ from the root's is in it (digests outside it were copied
+    verbatim by the seeded hasher at every step).  ``None`` marks a root.
+    """
+
+    __slots__ = (
+        "snapshot",
+        "graph",
+        "hashes",
+        "dirty_since_base",
+        "rehashed",
+        "depth",
+        "_topo_holder",
+    )
+
+    def __init__(
+        self,
+        snapshot: Mapping[Path, str],
+        graph: BuildGraph,
+        hashes: Dict[TargetName, str],
+        dirty_since_base: Optional[frozenset] = None,
+        rehashed: int = 0,
+        depth: int = 0,
+        topo_holder: Optional[list] = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self.graph = graph
+        self.hashes = hashes
+        self.dirty_since_base = dirty_since_base
+        #: Digests recomputed when this context was derived (0 for roots).
+        self.rehashed = rehashed
+        #: Overlay layers between ``snapshot`` and the nearest plain dict.
+        self.depth = depth
+        # One-element list shared by every context holding the *same* graph
+        # object, so the topological position index is computed at most
+        # once per distinct graph.
+        self._topo_holder = topo_holder if topo_holder is not None else [None]
+
+    @classmethod
+    def load(cls, snapshot: Mapping[Path, str]) -> "BuildContext":
+        """A root context: full graph load + whole-snapshot hashing."""
+        graph = load_build_graph(snapshot)
+        hashes = TargetHasher(graph, snapshot).all_hashes()
+        return cls(snapshot, graph, hashes)
+
+    def derive(
+        self,
+        snapshot: Mapping[Path, str],
+        touched_paths: Iterable[Path],
+    ) -> "BuildContext":
+        """The context for ``snapshot``, which is this context's snapshot
+        with only ``touched_paths`` changed (typically the overlay returned
+        by ``Patch.apply``).  Costs O(touched packages + dirty closure).
+        """
+        touched = set(touched_paths)
+        graph = reload_packages(self.graph, snapshot, touched)
+        hashes, dirty, computed = incremental_hashes(
+            self.graph, self.hashes, graph, snapshot, touched
+        )
+        accumulated = (
+            frozenset(dirty)
+            if self.dirty_since_base is None
+            else self.dirty_since_base | dirty
+        )
+        return BuildContext(
+            snapshot,
+            graph,
+            hashes,
+            dirty_since_base=accumulated,
+            rehashed=computed,
+            depth=self.depth + 1,
+            topo_holder=self._topo_holder if graph is self.graph else None,
+        )
+
+    def as_root(self, flatten_above_depth: Optional[int] = None) -> "BuildContext":
+        """This context re-labelled as a derivation root (new mainline base).
+
+        ``flatten_above_depth`` bounds overlay-chain depth: when the chain
+        behind ``snapshot`` is deeper, the snapshot is materialized into a
+        plain dict so per-file lookups stay O(1) as the base advances
+        commit after commit (amortized O(repo / flatten_above_depth)).
+        """
+        snapshot: Mapping[Path, str] = self.snapshot
+        depth = self.depth
+        if (
+            flatten_above_depth is not None
+            and depth > flatten_above_depth
+            and hasattr(snapshot, "to_dict")
+        ):
+            snapshot = snapshot.to_dict()
+            depth = 0
+        return BuildContext(
+            snapshot,
+            self.graph,
+            self.hashes,
+            dirty_since_base=None,
+            depth=depth,
+            topo_holder=self._topo_holder,
+        )
+
+    def topo_index(self) -> Dict[TargetName, int]:
+        """Target -> position in the full graph's topological order.
+
+        ``topological_order`` is a deterministic function of the graph's
+        nodes and edges, so sorting any affected subset by this index
+        reproduces exactly the order the from-scratch path gets by
+        filtering the full order.
+        """
+        holder = self._topo_holder
+        if holder[0] is None:
+            holder[0] = {
+                name: position
+                for position, name in enumerate(self.graph.topological_order())
+            }
+        return holder[0]
+
+    def affected_against(self, base: "BuildContext") -> List[TargetName]:
+        """Targets whose digest differs from ``base``, in build order.
+
+        When this context was derived (transitively) from ``base``, only
+        the accumulated dirty set can differ — everything else was copied
+        verbatim — so the scan is O(dirty), not O(graph).
+        """
+        if self.dirty_since_base is None:
+            candidates: Iterable[TargetName] = self.hashes
+        else:
+            candidates = self.dirty_since_base
+        base_hashes = base.hashes
+        hashes = self.hashes
+        index = self.topo_index()
+        affected = [
+            name
+            for name in candidates
+            if name in hashes and base_hashes.get(name) != hashes[name]
+        ]
+        affected.sort(key=index.__getitem__)
+        return affected
 
 
 class BuildExecutor:
@@ -115,25 +293,48 @@ class BuildExecutor:
         ]
         return self._run(changed_graph, hasher, order, changed_snapshot, stop_on_failure)
 
+    def build_between(
+        self,
+        base: BuildContext,
+        changed: BuildContext,
+        stop_on_failure: bool = False,
+    ) -> BuildReport:
+        """:meth:`build_affected` over pre-derived contexts.
+
+        Bit-identical to the from-scratch path — same affected set, same
+        build order, same step results — but the base side costs nothing
+        (memoized) and the changed side was derived in O(delta).
+        """
+        order = changed.affected_against(base)
+        return self._run(
+            changed.graph,
+            changed.hashes.__getitem__,
+            order,
+            changed.snapshot,
+            stop_on_failure,
+        )
+
     def _run(
         self,
         graph: BuildGraph,
-        hasher: TargetHasher,
+        hasher,
         order: List[TargetName],
         snapshot: Mapping[Path, str],
         stop_on_failure: bool,
     ) -> BuildReport:
+        """``hasher``: a :class:`TargetHasher` or any name -> digest callable."""
+        hash_of = hasher.hash_of if isinstance(hasher, TargetHasher) else hasher
         report = BuildReport()
         for name in order:
             target = graph.target(name)
-            digest = hasher.hash_of(name)
+            digest = hash_of(name)
             report.targets_built.append(name)
             for kind in target.steps:
                 result = self.cache.get(digest, kind)
                 if result is None:
                     result = evaluate_step(graph, target, kind, snapshot)
                     self.cache.put(digest, kind, result)
-                report.results.append(result)
+                report.append(result)
                 if stop_on_failure and not result.passed:
                     self._record(report)
                     return report

@@ -19,17 +19,18 @@ Two fidelities behind one interface:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.buildsys.cache import ArtifactCache
-from repro.buildsys.executor import BuildExecutor
+from repro.buildsys.executor import BuildContext, BuildExecutor
 from repro.changes.change import Change
 from repro.changes.truth import stack_outcome
 from repro.errors import PatchConflictError
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.types import BuildKey, ChangeId
-from repro.vcs.patch import squash
+from repro.types import BuildKey, ChangeId, CommitId, TargetName
+from repro.vcs.patch import Patch, squash
 from repro.vcs.repository import Repository
 
 
@@ -43,6 +44,9 @@ class BuildExecution:
     steps_executed: int = 0
     steps_cached: int = 0
     failure_reason: str = ""
+    #: Targets the build covered, in build order (empty for label-mode
+    #: builds and merge conflicts).
+    targets_built: Tuple[TargetName, ...] = ()
 
 
 class BuildController(abc.ABC):
@@ -104,6 +108,49 @@ class LabelBuildController(BuildController):
         )
 
 
+@dataclass
+class ExecutorReuseStats:
+    """Incremental-execution counters (see BENCH_exec.json)."""
+
+    #: Root contexts built from scratch — O(repo) graph load + hashing.
+    base_context_loads: int = 0
+    #: Builds answered from a memoized base context.
+    base_context_reuses: int = 0
+    #: Base contexts advanced across a commit in O(delta) instead of reloaded.
+    base_context_advances: int = 0
+    #: Speculation-prefix cache hits (merged snapshot + hashes reused).
+    prefix_hits: int = 0
+    #: Prefix states derived because no cached ancestor covered them.
+    prefix_misses: int = 0
+    #: Target digests recomputed by incremental derivations.
+    targets_rehashed: int = 0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
+
+
+class _ExecutorMetrics:
+    """Hoisted recorder handles for the incremental-execution counters."""
+
+    __slots__ = ("base_context_reused", "prefix_hits", "prefix_misses")
+
+    def __init__(self, recorder: Recorder) -> None:
+        self.base_context_reused = recorder.counter(
+            "executor_base_context_reused_total",
+            "Builds served from a memoized per-base build context.",
+        )
+        self.prefix_hits = recorder.counter(
+            "executor_prefix_hits_total",
+            "Speculation-prefix cache hits (merged snapshot + hashes reused).",
+        )
+        self.prefix_misses = recorder.counter(
+            "executor_prefix_misses_total",
+            "Speculation-prefix derivations the cache could not serve.",
+        )
+
+
 class FullStackBuildController(BuildController):
     """Real builds: merge patches, load graphs, execute synthetic steps.
 
@@ -111,7 +158,30 @@ class FullStackBuildController(BuildController):
     duration; cached steps cost ``cached_step_minutes`` (near zero).
     The ``base_commit_id`` pins the HEAD the controller merges onto; the
     planner refreshes it as changes land.
+
+    With ``incremental=True`` (the default) execution reuses work across
+    builds instead of recomputing both snapshot sides from scratch:
+
+    * the base side (graph + Algorithm-1 hashes) is a
+      :class:`~repro.buildsys.executor.BuildContext` memoized per mainline
+      head and *advanced* in O(delta) when a change lands;
+    * patches apply as copy-on-write overlays and rehash only the dirty
+      reverse-dependency closure;
+    * a speculation-prefix cache keyed by ``(base commit,
+      frozenset(assumed))`` lets a build of ``H ⊕ S ⊕ C`` reuse the merged
+      snapshot and hashes its parent build ``H ⊕ S`` derived — the paper's
+      tree-structured step elimination applied at the snapshot/hash layer,
+      not just the artifact layer.
+
+    Outcomes, step counts, durations, and target order are bit-identical
+    to ``incremental=False`` (enforced by a hypothesis property test).
     """
+
+    #: Keep at most this many base contexts (mainline heads) memoized.
+    BASE_CONTEXT_CAPACITY = 4
+    #: Materialize the base snapshot into a plain dict once its overlay
+    #: chain (one layer per landed commit) exceeds this depth.
+    BASE_FLATTEN_DEPTH = 8
 
     def __init__(
         self,
@@ -120,17 +190,40 @@ class FullStackBuildController(BuildController):
         step_minutes: float = 1.0,
         cached_step_minutes: float = 0.01,
         recorder: Recorder = NULL_RECORDER,
+        incremental: bool = True,
+        prefix_capacity: int = 128,
     ) -> None:
+        if prefix_capacity <= 0:
+            raise ValueError("prefix_capacity must be positive")
         self._repo = repo
         self.recorder = recorder
         self.executor = BuildExecutor(cache, recorder=recorder)
         self.step_minutes = step_minutes
         self.cached_step_minutes = cached_step_minutes
         self.base_commit_id = repo.head()
+        self.incremental = incremental
+        self.prefix_capacity = prefix_capacity
+        self.stats = ExecutorReuseStats()
+        self._metrics = _ExecutorMetrics(recorder) if recorder.enabled else None
+        self._base_contexts: "OrderedDict[CommitId, BuildContext]" = OrderedDict()
+        self._prefix_cache: "OrderedDict[Tuple[CommitId, FrozenSet[ChangeId]], BuildContext]" = (
+            OrderedDict()
+        )
 
     def refresh_base(self) -> None:
-        """Re-pin the merge base to the current mainline HEAD."""
+        """Re-pin the merge base to the current mainline HEAD.
+
+        Prefix-cache entries derived against any other base can never be
+        looked up again (keys carry the base commit), so they are evicted
+        here rather than left to age out of the LRU.
+        """
         self.base_commit_id = self._repo.head()
+        if self._prefix_cache:
+            stale = [
+                key for key in self._prefix_cache if key[0] != self.base_commit_id
+            ]
+            for key in stale:
+                del self._prefix_cache[key]
 
     def on_commit(
         self, change: Change, changes_by_id: Mapping[ChangeId, Change]
@@ -138,10 +231,19 @@ class FullStackBuildController(BuildController):
         """Land a decided change on the mainline and re-pin the base.
 
         Called by the planner exactly when the change's decisive build
-        succeeded, so the mainline stays green by construction.
+        succeeded, so the mainline stays green by construction.  The
+        memoized base context advances with the commit: the new head's
+        context is the committed change's patch folded onto the old one
+        (or, better, the decisive build's already-cached prefix state),
+        never a from-scratch reload.
         """
         if change.patch is None:
             raise ValueError(f"change {change.change_id} carries no patch")
+        old_head = self.base_commit_id
+        old_ctx = self._base_contexts.get(old_head)
+        advanced = self._prefix_cache.get(
+            (old_head, frozenset((change.change_id,)))
+        )
         self._repo.commit_to_mainline(
             change.patch,
             message=change.description or change.change_id,
@@ -149,6 +251,17 @@ class FullStackBuildController(BuildController):
             green=True,
         )
         self.refresh_base()
+        if self.incremental:
+            if advanced is None and old_ctx is not None:
+                # commit_to_mainline just applied this patch to the same
+                # snapshot, so the derivation cannot conflict.
+                advanced = self._derive(old_ctx, change.patch)
+            if advanced is not None:
+                self.stats.base_context_advances += 1
+                self._remember_base(
+                    self.base_commit_id,
+                    advanced.as_root(self.BASE_FLATTEN_DEPTH),
+                )
         if self.recorder.enabled:
             self.recorder.counter(
                 "service_mainline_commits_total",
@@ -162,24 +275,112 @@ class FullStackBuildController(BuildController):
                 commit_id=self.base_commit_id,
             )
 
+    # -- incremental machinery ---------------------------------------------
+
+    def _remember_base(self, commit_id: CommitId, context: BuildContext) -> None:
+        self._base_contexts[commit_id] = context
+        self._base_contexts.move_to_end(commit_id)
+        while len(self._base_contexts) > self.BASE_CONTEXT_CAPACITY:
+            self._base_contexts.popitem(last=False)
+
+    def _base_context(self) -> BuildContext:
+        """The memoized context for the current base commit (load once)."""
+        context = self._base_contexts.get(self.base_commit_id)
+        if context is None:
+            context = BuildContext.load(
+                self._repo.snapshot(self.base_commit_id).to_dict()
+            )
+            self.stats.base_context_loads += 1
+            self._remember_base(self.base_commit_id, context)
+        else:
+            self._base_contexts.move_to_end(self.base_commit_id)
+            self.stats.base_context_reuses += 1
+            if self._metrics is not None:
+                self._metrics.base_context_reused.inc()
+        return context
+
+    def _derive(self, context: BuildContext, patch: Patch) -> BuildContext:
+        """Fold one patch onto a context; raises PatchConflictError."""
+        derived = context.derive(patch.apply(context.snapshot), patch.paths)
+        self.stats.targets_rehashed += derived.rehashed
+        return derived
+
+    def _prefix_put(
+        self, key: Tuple[CommitId, FrozenSet[ChangeId]], context: BuildContext
+    ) -> None:
+        self._prefix_cache[key] = context
+        self._prefix_cache.move_to_end(key)
+        while len(self._prefix_cache) > self.prefix_capacity:
+            self._prefix_cache.popitem(last=False)
+
+    def _prefix_lookup(
+        self, key: Tuple[CommitId, FrozenSet[ChangeId]]
+    ) -> Optional[BuildContext]:
+        context = self._prefix_cache.get(key)
+        if context is None:
+            return None
+        self._prefix_cache.move_to_end(key)
+        self.stats.prefix_hits += 1
+        if self._metrics is not None:
+            self._metrics.prefix_hits.inc()
+        return context
+
+    def _prefix_context(
+        self, base_context: BuildContext, assumed: Sequence[Change]
+    ) -> BuildContext:
+        """The context for the assumed stack, reusing the deepest cached prefix.
+
+        Patches fold in sorted-change-id order (matching the from-scratch
+        merge order), and every intermediate prefix is cached so sibling
+        and child speculations start from it.
+        """
+        if not assumed:
+            return base_context
+        base = self.base_commit_id
+        ids = [other.change_id for other in assumed]
+        context = base_context
+        start = 0
+        for length in range(len(ids), 0, -1):
+            cached = self._prefix_lookup((base, frozenset(ids[:length])))
+            if cached is not None:
+                context, start = cached, length
+                break
+        for position in range(start, len(assumed)):
+            context = self._derive(context, assumed[position].patch)
+            self.stats.prefix_misses += 1
+            if self._metrics is not None:
+                self._metrics.prefix_misses.inc()
+            self._prefix_put((base, frozenset(ids[: position + 1])), context)
+        return context
+
+    # -- execution ----------------------------------------------------------
+
     def execute(
         self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
     ) -> BuildExecution:
         change = changes_by_id[key.change_id]
         assumed = [changes_by_id[cid] for cid in sorted(key.assumed)]
-        base_snapshot = self._repo.snapshot(self.base_commit_id).to_dict()
-
-        patches = []
         for other in assumed + [change]:
             if other.patch is None:
                 raise ValueError(f"change {other.change_id} carries no patch")
-            patches.append(other.patch)
+        if not self.incremental:
+            return self._execute_scratch(key, change, assumed)
+
+        base_context = self._base_context()
         # Merge in submission order; a textual conflict fails the build the
         # same way a failed merge fails it in production.
-        merged = dict(base_snapshot)
         try:
-            for patch in patches:
-                merged = patch.apply(merged)
+            prefix = self._prefix_context(base_context, assumed)
+            stack_key = (self.base_commit_id, key.assumed | {key.change_id})
+            merged = self._prefix_lookup(stack_key)
+            if merged is None:
+                merged = self._derive(prefix, change.patch)
+                self.stats.prefix_misses += 1
+                if self._metrics is not None:
+                    self._metrics.prefix_misses.inc()
+                # The merged state doubles as the prefix for any child
+                # speculation that assumes this change on top of the stack.
+                self._prefix_put(stack_key, merged)
         except PatchConflictError as exc:
             return BuildExecution(
                 key=key,
@@ -187,10 +388,33 @@ class FullStackBuildController(BuildController):
                 duration=self.step_minutes,
                 failure_reason=f"merge conflict: {exc}",
             )
+        report = self.executor.build_between(
+            base_context, merged, stop_on_failure=True
+        )
+        return self._execution_from_report(key, report)
 
+    def _execute_scratch(
+        self, key: BuildKey, change: Change, assumed: Sequence[Change]
+    ) -> BuildExecution:
+        """The from-scratch reference path (``incremental=False``)."""
+        base_snapshot = self._repo.snapshot(self.base_commit_id).to_dict()
+        merged = dict(base_snapshot)
+        try:
+            for other in list(assumed) + [change]:
+                merged = other.patch.apply(merged)
+        except PatchConflictError as exc:
+            return BuildExecution(
+                key=key,
+                success=False,
+                duration=self.step_minutes,
+                failure_reason=f"merge conflict: {exc}",
+            )
         report = self.executor.build_affected(
             base_snapshot, merged, stop_on_failure=True
         )
+        return self._execution_from_report(key, report)
+
+    def _execution_from_report(self, key: BuildKey, report) -> BuildExecution:
         duration = (
             report.steps_executed * self.step_minutes
             + report.steps_cached * self.cached_step_minutes
@@ -203,4 +427,5 @@ class FullStackBuildController(BuildController):
             steps_executed=report.steps_executed,
             steps_cached=report.steps_cached,
             failure_reason="" if failure is None else failure.log,
+            targets_built=tuple(report.targets_built),
         )

@@ -79,6 +79,9 @@ class PlannerStats:
     #: Epochs answered by the input fingerprint without consulting the
     #: strategy (see :meth:`PlannerEngine.plan`).
     plan_calls_skipped: int = 0
+    #: Build steps actually executed / eliminated across started builds.
+    steps_executed: int = 0
+    steps_cached: int = 0
 
 
 class _PlannerMetrics:
@@ -106,6 +109,10 @@ class _PlannerMetrics:
         "decisions_committed",
         "decisions_rejected",
         "turnaround",
+        "assignment_estimate",
+        "assignments_warm",
+        "assignments_cold",
+        "load_imbalance",
     )
 
     def __init__(self, recorder: Recorder) -> None:
@@ -168,6 +175,25 @@ class _PlannerMetrics:
         self.turnaround = recorder.histogram(
             "service_turnaround_minutes",
             "Submission-to-decision turnaround.",
+        )
+        self.assignment_estimate = recorder.histogram(
+            "planner_worker_assignment_estimate_minutes",
+            "EWMA duration estimates at assignment time (history-based "
+            "load balancing, section 6).",
+        )
+        self.assignments_warm = recorder.counter(
+            "planner_worker_assignments_total",
+            "Worker assignments by history availability.",
+            labels={"history": "warm"},
+        )
+        self.assignments_cold = recorder.counter(
+            "planner_worker_assignments_total",
+            "Worker assignments by history availability.",
+            labels={"history": "cold"},
+        )
+        self.load_imbalance = recorder.gauge(
+            "planner_worker_load_imbalance_minutes",
+            "Max-minus-min cumulative busy minutes across workers.",
         )
 
 
@@ -435,16 +461,18 @@ class PlannerEngine:
             self._abort(key, now)
             aborted.append(key)
 
-        started: List[ScheduledBuild] = []
+        to_start: List[BuildKey] = []
+        free_budget = self.workers.free
         for key in selected:
-            if self.workers.free == 0:
+            if len(to_start) >= free_budget:
                 break
             if self.workers.is_running(key):
                 continue
             existing = self.builds.get(key)
             if existing is not None and existing.done and not existing.aborted:
                 continue  # result already known; never rebuild
-            started.append(self._start(key, now))
+            to_start.append(key)
+        started = self._start_batch(to_start, now)
 
         # Stall guard: if the strategy selected nothing runnable while work
         # is pending, force the oldest pending change's decisive build (its
@@ -492,6 +520,7 @@ class PlannerEngine:
         self._metrics.worker_utilization.set(
             self.workers.busy / self.workers.capacity
         )
+        self._metrics.load_imbalance.set(self.workers.load_imbalance())
 
     def finish_trace(self, now: float) -> None:
         """Close the open epoch span (call when a run drains)."""
@@ -500,16 +529,51 @@ class PlannerEngine:
             self._epoch_span = None
 
     def _start(self, key: BuildKey, now: float) -> ScheduledBuild:
-        execution = self.controller.execute(key, self.all_changes)
+        return self._start_batch([key], now)[0]
+
+    def _start_batch(
+        self, keys: List[BuildKey], now: float
+    ) -> List[ScheduledBuild]:
+        """Execute and assign a batch of selected builds.
+
+        Worker slots are claimed in longest-processing-time-first order
+        over the pool's EWMA duration history (section 6's history-based
+        balancing); everything else — execution, bookkeeping, spans, the
+        returned schedule — stays in selection order, so event timing and
+        build outcomes are unchanged by the assignment policy.
+        """
+        if not keys:
+            return []
+        executions = [
+            self.controller.execute(key, self.all_changes) for key in keys
+        ]
+        for key in self.workers.assignment_order(keys):
+            estimate = self.workers.estimate(key.change_id)
+            self.workers.assign(key, now)
+            if self._metrics is not None:
+                if estimate is None:
+                    self._metrics.assignments_cold.inc()
+                else:
+                    self._metrics.assignments_warm.inc()
+                    self._metrics.assignment_estimate.observe(estimate)
+        return [
+            self._register_start(key, execution, now)
+            for key, execution in zip(keys, executions)
+        ]
+
+    def _register_start(
+        self, key: BuildKey, execution: BuildExecution, now: float
+    ) -> ScheduledBuild:
         if key not in self.builds:
             self._builds_by_change.setdefault(key.change_id, []).append(key)
         build = BuildRecord(key=key, execution=execution, started_at=now)
         self.builds[key] = build
-        self.workers.assign(key, now)
         record = self.records.get(key.change_id)
         if record is not None:
             record.builds_scheduled += 1
         self.stats.builds_started += 1
+        self.stats.steps_executed += execution.steps_executed
+        self.stats.steps_cached += execution.steps_cached
         if self.recorder.enabled:
             build.span = self.recorder.start_span(
                 "build",
@@ -528,7 +592,9 @@ class PlannerEngine:
         return ScheduledBuild(key=key, duration=execution.duration)
 
     def _abort(self, key: BuildKey, now: float) -> None:
-        self.workers.release(key, now)
+        # completed=False keeps the partial interval out of the worker
+        # pool's duration history — aborts say nothing about build length.
+        self.workers.release(key, now, completed=False)
         record = self.builds.get(key)
         if record is not None:
             record.aborted = True

@@ -2,18 +2,23 @@
 
 Models the build fleet (Mac Minis in the paper's setup): a fixed number of
 slots, each able to run one speculative build at a time.  Assignment is
-load-balanced by cumulative busy time, the simulation-level analogue of
-the paper's history-based load balancing (section 6), and utilization is
-tracked for the throughput benches.
+history-based, the paper's section-6 load balancing: completed builds feed
+an EWMA of per-change durations, a batch of starts is ordered
+longest-processing-time-first over those estimates (the classic greedy
+makespan heuristic), and each build then goes to the worker with the least
+cumulative busy time — which is also the cold-start fallback when no
+history exists yet.  Utilization and imbalance are tracked for the
+throughput benches.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import NoWorkerAvailableError
-from repro.types import BuildKey
+from repro.types import BuildKey, ChangeId
 
 
 @dataclass
@@ -28,13 +33,30 @@ class _Worker:
 
 
 class WorkerPool:
-    """Fixed-capacity pool with least-loaded assignment."""
+    """Fixed-capacity pool with history-based (EWMA + LPT) assignment.
 
-    def __init__(self, capacity: int) -> None:
+    ``ewma_alpha`` weights the newest completed duration when updating a
+    change's estimate; ``history_capacity`` bounds the per-change history
+    map (LRU) so long simulations hold memory steady.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        ewma_alpha: float = 0.25,
+        history_capacity: int = 4096,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("worker capacity must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if history_capacity <= 0:
+            raise ValueError("history_capacity must be positive")
         self._workers: List[_Worker] = [_Worker(i) for i in range(capacity)]
         self._by_build: Dict[BuildKey, _Worker] = {}
+        self._ewma_alpha = ewma_alpha
+        self._history_capacity = history_capacity
+        self._duration_ewma: "OrderedDict[ChangeId, float]" = OrderedDict()
 
     @property
     def capacity(self) -> int:
@@ -54,6 +76,44 @@ class WorkerPool:
     def running_builds(self) -> List[BuildKey]:
         return list(self._by_build)
 
+    # -- duration history (section 6 load balancing) -------------------------
+
+    def estimate(self, change_id: ChangeId) -> Optional[float]:
+        """EWMA of the change's completed build durations, or ``None``."""
+        return self._duration_ewma.get(change_id)
+
+    def observe_duration(self, change_id: ChangeId, minutes: float) -> None:
+        """Feed one completed build's duration into the change's EWMA."""
+        previous = self._duration_ewma.get(change_id)
+        if previous is None:
+            self._duration_ewma[change_id] = minutes
+        else:
+            self._duration_ewma[change_id] = (
+                self._ewma_alpha * minutes + (1.0 - self._ewma_alpha) * previous
+            )
+        self._duration_ewma.move_to_end(change_id)
+        while len(self._duration_ewma) > self._history_capacity:
+            self._duration_ewma.popitem(last=False)
+
+    def assignment_order(self, keys: Sequence[BuildKey]) -> List[BuildKey]:
+        """``keys`` reordered longest-processing-time-first for assignment.
+
+        Builds with historical estimates go first, longest first (the LPT
+        greedy keeps the makespan within 4/3 of optimal); builds with no
+        history keep their submitted order after them, where least-loaded
+        placement alone balances them.  The sort is stable, so equal
+        estimates preserve selection order and the result is deterministic.
+        """
+        if len(keys) <= 1:
+            return list(keys)
+        estimates = self._duration_ewma
+        return sorted(
+            keys,
+            key=lambda key: -estimates.get(key.change_id, float("-inf")),
+        )
+
+    # -- assignment ----------------------------------------------------------
+
     def assign(self, key: BuildKey, now: float) -> int:
         """Assign a build to the least-loaded free worker; returns its index."""
         if key in self._by_build:
@@ -68,14 +128,24 @@ class WorkerPool:
         self._by_build[key] = worker
         return worker.index
 
-    def release(self, key: BuildKey, now: float) -> int:
-        """Release the worker running ``key``; returns its index."""
+    def release(self, key: BuildKey, now: float, completed: bool = True) -> int:
+        """Release the worker running ``key``; returns its index.
+
+        ``completed=False`` (an abort) still accrues the worker's busy
+        time but keeps the partial interval out of the duration history —
+        an aborted build says nothing about how long the change builds.
+        """
         worker = self._by_build.pop(key, None)
         if worker is None:
             raise KeyError(f"build {key.label()} not running")
-        worker.total_busy += max(0.0, now - worker.busy_since)
+        elapsed = max(0.0, now - worker.busy_since)
+        worker.total_busy += elapsed
         worker.busy_with = None
+        if completed:
+            self.observe_duration(key.change_id, elapsed)
         return worker.index
+
+    # -- accounting ----------------------------------------------------------
 
     def utilization(self, now: float) -> float:
         """Fraction of wall-clock×capacity spent busy, up to ``now``."""
@@ -88,7 +158,19 @@ class WorkerPool:
                 total += max(0.0, now - worker.busy_since)
         return total / (now * self.capacity)
 
-    def load_imbalance(self) -> float:
-        """Max-minus-min cumulative busy time across workers."""
-        totals = [w.total_busy for w in self._workers]
-        return max(totals) - min(totals) if totals else 0.0
+    def load_imbalance(self, now: Optional[float] = None) -> float:
+        """Max-minus-min cumulative busy time across workers.
+
+        With ``now`` given, in-flight builds count their elapsed time too,
+        so the figure reflects the pool as it stands rather than only
+        finished work.
+        """
+        if not self._workers:
+            return 0.0
+        totals = []
+        for worker in self._workers:
+            total = worker.total_busy
+            if now is not None and worker.busy_with is not None:
+                total += max(0.0, now - worker.busy_since)
+            totals.append(total)
+        return max(totals) - min(totals)

@@ -43,6 +43,11 @@ class CoreServiceConfig:
     #: per-change analyses whose validity is unaffected by the committed
     #: delta) instead of rebuilding it from scratch.
     incremental_analyzer: bool = True
+    #: Execute builds incrementally (memoized per-base build contexts,
+    #: overlay merges, speculation-prefix reuse) instead of recomputing
+    #: both snapshot sides from scratch per build.  Bit-identical outcomes
+    #: either way; only applies to the default controller.
+    incremental_executor: bool = True
 
 
 class CoreService:
@@ -77,7 +82,11 @@ class CoreService:
         self.controller = (
             controller
             if controller is not None
-            else FullStackBuildController(repo, recorder=recorder)
+            else FullStackBuildController(
+                repo,
+                recorder=recorder,
+                incremental=config.incremental_executor,
+            )
         )
         self._analyzer = ConflictAnalyzer(
             repo.snapshot().to_dict(), recorder=recorder

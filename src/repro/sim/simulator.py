@@ -42,6 +42,10 @@ class SimulationResult:
     builds_completed: int
     build_minutes: float
     wasted_minutes: float
+    #: Full-stack runs only: build steps executed vs eliminated (zero in
+    #: label mode, where builds carry no step counts).
+    steps_executed: int = 0
+    steps_cached: int = 0
 
     @property
     def throughput_per_hour(self) -> float:
@@ -206,4 +210,6 @@ class Simulation:
             builds_completed=stats.builds_completed,
             build_minutes=stats.build_minutes,
             wasted_minutes=stats.wasted_minutes,
+            steps_executed=stats.steps_executed,
+            steps_cached=stats.steps_cached,
         )

@@ -1,0 +1,321 @@
+"""Unit tests for incremental build execution.
+
+Covers the :class:`~repro.buildsys.executor.BuildContext` derivation
+chain, the controller's per-base context memo and speculation-prefix
+cache, the running-counter :class:`BuildReport`, the allocation-free
+artifact-cache hits, and the incremental counters on the obs registry.
+The cross-path bit-identity guarantee is enforced separately by the
+hypothesis property test (``test_property_incremental_executor.py``).
+"""
+
+import pytest
+
+from repro.buildsys.cache import ArtifactCache
+from repro.buildsys.executor import BuildContext, BuildExecutor, BuildReport
+from repro.buildsys.hashing import TargetHasher
+from repro.buildsys.loader import load_build_graph
+from repro.buildsys.steps import StepResult, StepSpec
+from repro.obs.recorder import Recorder
+from repro.planner.controller import FullStackBuildController
+from repro.types import BuildKey, StepKind
+from repro.vcs.patch import Patch
+
+from .conftest import TINY_FILES
+
+
+def _ctx_and_patch(snapshot, files, base=None):
+    context = BuildContext.load(dict(snapshot))
+    patch = Patch.modifying(files, base=base or snapshot)
+    return context, patch
+
+
+def _derive(context, patch):
+    return context.derive(patch.apply(context.snapshot), patch.paths)
+
+
+class TestBuildContext:
+    def test_derive_matches_from_scratch(self, tiny_snapshot):
+        context, patch = _ctx_and_patch(
+            tiny_snapshot, {"lib/lib.py": "LIB = 99\n"}
+        )
+        derived = _derive(context, patch)
+        merged = patch.apply(tiny_snapshot)
+        scratch_graph = load_build_graph(merged)
+        scratch_hashes = TargetHasher(scratch_graph, merged).all_hashes()
+        assert derived.hashes == scratch_hashes
+        assert derived.rehashed < len(scratch_hashes)  # only the dirty cone
+
+    def test_structural_derive_matches_from_scratch(self, tiny_snapshot):
+        new_build = (
+            "target(name = 'tool', srcs = ['tool.py', 'extra.py'], deps = [])\n"
+        )
+        patch = Patch(
+            [
+                *Patch.modifying(
+                    {"tool/BUILD": new_build}, base=tiny_snapshot
+                ),
+                *Patch.adding({"tool/extra.py": "EXTRA = 5\n"}),
+            ]
+        )
+        context = BuildContext.load(dict(tiny_snapshot))
+        derived = _derive(context, patch)
+        merged = patch.apply(tiny_snapshot)
+        scratch_hashes = TargetHasher(
+            load_build_graph(merged), merged
+        ).all_hashes()
+        assert derived.hashes == scratch_hashes
+        assert derived.graph is not context.graph  # BUILD touched
+
+    def test_content_only_derive_shares_graph_and_topo_index(
+        self, tiny_snapshot
+    ):
+        context, patch = _ctx_and_patch(
+            tiny_snapshot, {"app/app.py": "APP = 30\n"}
+        )
+        index_before = context.topo_index()
+        derived = _derive(context, patch)
+        assert derived.graph is context.graph
+        assert derived.topo_index() is index_before
+
+    def test_dirty_since_base_accumulates_along_chain(self, tiny_snapshot):
+        context = BuildContext.load(dict(tiny_snapshot))
+        first = _derive(
+            context, Patch.modifying({"base/base.py": "BASE = 10\n"},
+                                     base=tiny_snapshot)
+        )
+        second = _derive(
+            first, Patch.modifying({"tool/tool.py": "TOOL = 40\n"},
+                                   base=first.snapshot)
+        )
+        assert context.dirty_since_base is None  # roots carry no dirty set
+        # base's edit dirties its whole reverse-dependency closure.
+        assert {"//base:base", "//lib:lib", "//app:app"} <= first.dirty_since_base
+        assert "//tool:tool" in second.dirty_since_base
+        assert first.dirty_since_base <= second.dirty_since_base
+
+    def test_build_between_matches_build_affected(self, tiny_snapshot):
+        patch = Patch.modifying(
+            {"lib/lib.py": "LIB = 7\n"}, base=tiny_snapshot
+        )
+        context = BuildContext.load(dict(tiny_snapshot))
+        derived = _derive(context, patch)
+        # Separate executors so artifact-cache state cannot cross-pollinate.
+        incremental = BuildExecutor(ArtifactCache()).build_between(
+            context, derived
+        )
+        merged = patch.apply(tiny_snapshot)
+        scratch = BuildExecutor(ArtifactCache()).build_affected(
+            tiny_snapshot, merged
+        )
+        assert incremental.targets_built == scratch.targets_built
+        assert incremental.results == scratch.results
+
+    def test_as_root_flattens_deep_overlay_chains(self, tiny_snapshot):
+        context = BuildContext.load(dict(tiny_snapshot))
+        content = dict(tiny_snapshot)
+        for round_number in range(3):
+            edit = {"tool/tool.py": f"TOOL = {round_number}\n"}
+            patch = Patch.modifying(edit, base=content)
+            context = _derive(context, patch)
+            content.update(edit)
+        assert context.depth == 3
+        kept = context.as_root(flatten_above_depth=8)
+        assert kept.depth == 3 and kept.snapshot is context.snapshot
+        flattened = context.as_root(flatten_above_depth=2)
+        assert flattened.depth == 0
+        assert isinstance(flattened.snapshot, dict)
+        assert flattened.snapshot == dict(context.snapshot)
+        assert flattened.dirty_since_base is None
+
+
+class TestBuildReport:
+    def test_running_counters_via_append(self):
+        report = BuildReport()
+        passing = StepResult(StepSpec("//a:a", StepKind.COMPILE), passed=True)
+        cached = StepResult(
+            StepSpec("//a:a", StepKind.UNIT_TEST), passed=True, cached=True
+        )
+        failing = StepResult(
+            StepSpec("//a:a", StepKind.UI_TEST), passed=False, log="boom"
+        )
+        report.append(passing)
+        assert report.success and report.steps_executed == 1
+        report.append(cached)
+        assert report.steps_cached == 1
+        report.append(failing)
+        assert not report.success
+        assert report.first_failure() is failing
+        assert report.failures() == [failing]
+        assert report.steps_executed == 2 and report.steps_cached == 1
+
+    def test_constructor_seeds_counters_from_results(self):
+        failing = StepResult(
+            StepSpec("//a:a", StepKind.COMPILE), passed=False, log="x"
+        )
+        cached = StepResult(
+            StepSpec("//b:b", StepKind.COMPILE), passed=True, cached=True
+        )
+        report = BuildReport(results=[failing, cached], targets_built=["//a:a"])
+        assert not report.success
+        assert report.first_failure() is failing
+        assert report.steps_executed == 1 and report.steps_cached == 1
+
+
+class TestArtifactCacheAllocationFree:
+    def test_hit_returns_stored_object_identity(self):
+        cache = ArtifactCache()
+        result = StepResult(StepSpec("//a:a", StepKind.COMPILE), passed=True)
+        cache.put("digest", StepKind.COMPILE, result)
+        first = cache.get("digest", StepKind.COMPILE)
+        second = cache.get("digest", StepKind.COMPILE)
+        assert first is second  # no per-hit allocation
+        assert first.cached and first.passed
+
+    def test_put_normalizes_cached_mark(self):
+        cache = ArtifactCache()
+        already_marked = StepResult(
+            StepSpec("//a:a", StepKind.COMPILE), passed=True, cached=True
+        )
+        cache.put("digest", StepKind.COMPILE, already_marked)
+        hit = cache.get("digest", StepKind.COMPILE)
+        assert hit.cached and hit.passed
+
+
+class TestIncrementalController:
+    def test_incremental_matches_scratch_execution(self, monorepo):
+        warm = FullStackBuildController(monorepo.repo, incremental=True)
+        cold = FullStackBuildController(monorepo.repo, incremental=False)
+        clean = monorepo.make_clean_change()
+        broken = monorepo.make_broken_change()
+        structural = monorepo.make_structural_change()
+        changes = {
+            change.change_id: change for change in (clean, broken, structural)
+        }
+        for key in (
+            BuildKey(clean.change_id),
+            BuildKey(broken.change_id),
+            BuildKey(structural.change_id),
+            BuildKey(structural.change_id, frozenset({clean.change_id})),
+        ):
+            a = warm.execute(key, changes)
+            b = cold.execute(key, changes)
+            assert (a.success, a.steps_executed, a.steps_cached) == (
+                b.success,
+                b.steps_executed,
+                b.steps_cached,
+            )
+            assert a.targets_built == b.targets_built
+            assert a.duration == pytest.approx(b.duration)
+
+    def test_base_context_loaded_once_and_reused(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo)
+        change = monorepo.make_clean_change()
+        other = monorepo.make_clean_change()
+        changes = {c.change_id: c for c in (change, other)}
+        controller.execute(BuildKey(change.change_id), changes)
+        controller.execute(BuildKey(other.change_id), changes)
+        assert controller.stats.base_context_loads == 1
+        assert controller.stats.base_context_reuses == 1
+
+    def test_prefix_cache_reuses_parent_merge(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo)
+        parent = monorepo.make_clean_change()
+        child = monorepo.make_clean_change()
+        changes = {c.change_id: c for c in (parent, child)}
+        controller.execute(BuildKey(parent.change_id), changes)
+        assert controller.stats.prefix_hits == 0
+        # The child assumes the parent: its prefix is exactly the parent
+        # build's merged state, already in the cache.
+        controller.execute(
+            BuildKey(child.change_id, frozenset({parent.change_id})), changes
+        )
+        assert controller.stats.prefix_hits >= 1
+
+    def test_on_commit_advances_base_without_reload(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo)
+        first = monorepo.make_clean_change()
+        second = monorepo.make_clean_change()
+        changes = {c.change_id: c for c in (first, second)}
+        execution = controller.execute(BuildKey(first.change_id), changes)
+        assert execution.success
+        controller.on_commit(first, changes)
+        assert controller.stats.base_context_advances == 1
+        # The advanced context serves the new head: no second O(repo) load.
+        after = controller.execute(BuildKey(second.change_id), changes)
+        assert after.success
+        assert controller.stats.base_context_loads == 1
+        assert monorepo.repo.is_green()
+
+    def test_refresh_base_purges_stale_prefixes(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo)
+        parent = monorepo.make_clean_change()
+        child = monorepo.make_clean_change()
+        changes = {c.change_id: c for c in (parent, child)}
+        controller.execute(BuildKey(parent.change_id), changes)
+        assert controller._prefix_cache
+        controller.on_commit(parent, changes)
+        assert all(
+            key[0] == controller.base_commit_id
+            for key in controller._prefix_cache
+        )
+
+    def test_prefix_capacity_bounds_cache(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo, prefix_capacity=2)
+        changes = {}
+        for _ in range(4):
+            change = monorepo.make_clean_change()
+            changes[change.change_id] = change
+            controller.execute(BuildKey(change.change_id), changes)
+        assert len(controller._prefix_cache) <= 2
+
+    def test_merge_conflict_duration_and_reason(self, monorepo):
+        controller = FullStackBuildController(monorepo.repo, step_minutes=3.0)
+        target = monorepo.target_names()[0]
+        a = monorepo.make_clean_change(target)
+        b = monorepo.make_clean_change(target)
+        execution = controller.execute(
+            BuildKey(b.change_id, frozenset({a.change_id})),
+            {a.change_id: a, b.change_id: b},
+        )
+        assert not execution.success
+        assert execution.failure_reason.startswith("merge conflict:")
+        assert execution.duration == 3.0  # one step_minutes charge, no steps
+        assert execution.steps_executed == 0 and execution.steps_cached == 0
+        assert execution.targets_built == ()
+
+    def test_empty_delta_hits_duration_floor(self, tiny_repo):
+        controller = FullStackBuildController(
+            tiny_repo, cached_step_minutes=0.25
+        )
+        snapshot = tiny_repo.snapshot().to_dict()
+        noop = Patch.modifying(
+            {"tool/tool.py": snapshot["tool/tool.py"]}, base=snapshot
+        )
+        from repro.changes.change import Change, Developer
+
+        change = Change(
+            change_id="noop",
+            revision_id="R1",
+            developer=Developer("dev"),
+            patch=noop,
+        )
+        execution = controller.execute(BuildKey("noop"), {"noop": change})
+        assert execution.success
+        assert execution.steps_executed == 0 and execution.steps_cached == 0
+        assert execution.targets_built == ()
+        # No steps ran, but a build is never free: the floor applies.
+        assert execution.duration == 0.25
+
+    def test_counters_reach_the_registry(self, monorepo):
+        recorder = Recorder()
+        controller = FullStackBuildController(monorepo.repo, recorder=recorder)
+        parent = monorepo.make_clean_change()
+        child = monorepo.make_clean_change()
+        changes = {c.change_id: c for c in (parent, child)}
+        controller.execute(BuildKey(parent.change_id), changes)
+        controller.execute(
+            BuildKey(child.change_id, frozenset({parent.change_id})), changes
+        )
+        assert recorder.counter("executor_base_context_reused_total").value >= 1
+        assert recorder.counter("executor_prefix_hits_total").value >= 1
+        assert recorder.counter("executor_prefix_misses_total").value >= 1

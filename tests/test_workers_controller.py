@@ -72,6 +72,91 @@ class TestWorkerPool:
         with pytest.raises(ValueError):
             WorkerPool(0)
 
+    def test_utilization_counts_in_flight_builds(self):
+        pool = WorkerPool(2)
+        done = BuildKey("c1")
+        pool.assign(done, now=0.0)
+        pool.release(done, now=50.0)
+        pool.assign(BuildKey("c2"), now=60.0)
+        # 50 finished minutes + 40 in-flight minutes over 100 x 2 capacity.
+        assert pool.utilization(now=100.0) == pytest.approx(0.45)
+
+    def test_load_imbalance_with_and_without_in_flight(self):
+        pool = WorkerPool(2)
+        done = BuildKey("c1")
+        pool.assign(done, now=0.0)
+        pool.release(done, now=30.0)  # worker 0: 30 busy-minutes
+        running = BuildKey("c2")
+        pool.assign(running, now=30.0)  # goes to idle worker 1
+        # Finished work only: worker 1 has accrued nothing yet.
+        assert pool.load_imbalance() == pytest.approx(30.0)
+        # Including in-flight time, worker 1 has 20 minutes at now=50.
+        assert pool.load_imbalance(now=50.0) == pytest.approx(10.0)
+
+
+class TestDurationHistory:
+    def test_release_feeds_ewma(self):
+        pool = WorkerPool(2)
+        key = BuildKey("c1")
+        pool.assign(key, now=0.0)
+        pool.release(key, now=40.0)
+        assert pool.estimate("c1") == pytest.approx(40.0)
+
+    def test_ewma_update_rule(self):
+        pool = WorkerPool(2, ewma_alpha=0.5)
+        pool.observe_duration("c1", 40.0)
+        pool.observe_duration("c1", 20.0)
+        assert pool.estimate("c1") == pytest.approx(30.0)
+
+    def test_aborted_release_keeps_history_clean(self):
+        pool = WorkerPool(2)
+        key = BuildKey("c1")
+        pool.assign(key, now=0.0)
+        pool.release(key, now=5.0, completed=False)
+        assert pool.estimate("c1") is None
+
+    def test_assignment_order_is_lpt_over_estimates(self):
+        pool = WorkerPool(4)
+        pool.observe_duration("short", 5.0)
+        pool.observe_duration("long", 50.0)
+        keys = [
+            BuildKey("cold_a"),
+            BuildKey("short"),
+            BuildKey("long"),
+            BuildKey("cold_b"),
+        ]
+        ordered = pool.assignment_order(keys)
+        # History-backed builds first, longest first; cold builds keep
+        # their submitted order after them.
+        assert [key.change_id for key in ordered] == [
+            "long",
+            "short",
+            "cold_a",
+            "cold_b",
+        ]
+
+    def test_assignment_order_without_history_is_identity(self):
+        pool = WorkerPool(4)
+        keys = [BuildKey("a"), BuildKey("b"), BuildKey("c")]
+        assert pool.assignment_order(keys) == keys
+
+    def test_history_capacity_is_bounded(self):
+        pool = WorkerPool(1, history_capacity=2)
+        pool.observe_duration("c1", 1.0)
+        pool.observe_duration("c2", 2.0)
+        pool.observe_duration("c3", 3.0)
+        assert pool.estimate("c1") is None  # evicted LRU
+        assert pool.estimate("c2") == pytest.approx(2.0)
+        assert pool.estimate("c3") == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkerPool(2, ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            WorkerPool(2, ewma_alpha=1.5)
+        with pytest.raises(ValueError):
+            WorkerPool(2, history_capacity=0)
+
 
 class TestLabelBuildController:
     def test_success_and_duration(self):
