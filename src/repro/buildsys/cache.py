@@ -83,6 +83,16 @@ class ArtifactCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def items(self):
+        """Live entries in LRU order (oldest first), un-cached spelling.
+
+        Yields ``((digest, kind), result)`` pairs; re-``put``-ting them in
+        order into an empty cache reproduces both contents and eviction
+        order, which is how journal snapshots persist cache warmth.
+        """
+        for key, (stored, _cached) in self._entries.items():
+            yield key, stored
+
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""
         self._entries.clear()

@@ -9,7 +9,11 @@ Commands:
 * ``obs``        — inspect recorded runs: ``report`` renders a JSONL
   trace as an epoch-by-epoch text report, ``trace`` converts it to
   Chrome ``trace_event`` JSON (load in Perfetto / chrome://tracing),
-  ``validate`` checks it against the trace schema.
+  ``validate`` checks it against the trace schema;
+* ``journal``    — durable event journals: ``inspect`` summarizes one,
+  ``verify`` checks framing/schema (``--replay`` re-runs the log through
+  the service and diffs every emitted record), ``recover`` restores a
+  service and prints its recovered-state fingerprint.
 """
 
 from __future__ import annotations
@@ -80,6 +84,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check a JSONL trace against the schema"
     )
     validate.add_argument("trace", help="path to a .jsonl trace file")
+
+    journal = sub.add_parser("journal", help="durable event journals")
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    j_inspect = journal_sub.add_parser(
+        "inspect", help="summarize a journal directory"
+    )
+    j_inspect.add_argument("journal_dir", help="directory holding events.jsonl")
+    j_verify = journal_sub.add_parser(
+        "verify", help="check journal framing and schema"
+    )
+    j_verify.add_argument("journal_dir", help="directory holding events.jsonl")
+    j_verify.add_argument(
+        "--replay", action="store_true",
+        help="also replay the journal through the service and diff every "
+             "re-emitted record (read-only; the journal is not modified)",
+    )
+    j_recover = journal_sub.add_parser(
+        "recover", help="restore a service from a journal and summarize it"
+    )
+    j_recover.add_argument("journal_dir", help="directory holding events.jsonl")
+    j_recover.add_argument(
+        "--no-attach", action="store_true",
+        help="leave the journal untouched (no tail truncation or resume)",
+    )
     return parser
 
 
@@ -146,6 +174,66 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(payload)
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from repro.errors import JournalError
+    from repro.journal import (
+        fingerprint_digest,
+        format_summary,
+        recover,
+        summarize,
+        verify_journal,
+    )
+
+    if args.journal_command == "inspect":
+        try:
+            print(format_summary(summarize(args.journal_dir)))
+        except JournalError as error:
+            print(f"corrupt: {error}", file=sys.stderr)
+            return 1
+        return 0
+    if args.journal_command == "verify":
+        result = verify_journal(args.journal_dir, replay=args.replay)
+        if not result.ok:
+            print(f"corrupt: {result.error}", file=sys.stderr)
+            return 1
+        line = f"{args.journal_dir}: ok, {result.records} records"
+        if result.torn_tail_bytes:
+            line += f", {result.torn_tail_bytes} torn tail bytes"
+        if result.replayed is not None:
+            line += (
+                f", replayed {result.replayed} inputs, "
+                f"verified {result.verified} records"
+            )
+        print(line)
+        return 0
+    # args.journal_command == "recover"
+    try:
+        report = recover(args.journal_dir, attach=not args.no_attach)
+    except JournalError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    service = report.service
+    print(
+        f"recovered: {report.journal_records} records"
+        + (" from snapshot" if report.snapshot_restored else " from genesis")
+        + f", replayed {report.replayed} inputs, "
+        f"verified {report.verified} records"
+    )
+    if report.truncated_bytes:
+        print(f"dropped torn tail: {report.truncated_bytes} bytes")
+    if report.regenerated:
+        print(f"re-appended lost records: {report.regenerated}")
+    print(
+        f"state: t={service.clock.now:g} min, "
+        f"mainline {service.repo.mainline_length()} commits "
+        f"(green={service.repo.is_green()}), "
+        f"{service.planner.pending_count()} pending, "
+        f"{len(service.planner.decided)} decided"
+    )
+    print(f"fingerprint: {fingerprint_digest(service)}")
     return 0
 
 
@@ -302,6 +390,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "train": _cmd_train,
         "obs": _cmd_obs,
+        "journal": _cmd_journal,
     }
     return handlers[args.command](args)
 

@@ -270,6 +270,15 @@ class ConflictAnalyzer:
         """Change ids with a live cached analysis (for tests/monitoring)."""
         return frozenset(self._per_change)
 
+    @property
+    def base_hashes(self) -> Mapping[TargetName, str]:
+        """The base snapshot's per-target Algorithm-1 hashes (read-only).
+
+        State fingerprints digest these to compare analyzer bases across
+        recovered and uninterrupted runs without exposing the cache dicts.
+        """
+        return dict(self._base_hashes)
+
     def advance_base(
         self,
         new_snapshot: Mapping[Path, str],

@@ -106,6 +106,36 @@ class WorkloadError(ReproError):
     """Base class for workload-generation errors."""
 
 
+class JournalError(ReproError):
+    """Base class for durable-journal errors."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal file is structurally invalid (bad CRC, bad JSON, unknown
+    schema version, or a malformed record in the interior of the log).
+
+    A *torn final record* — the partially written tail a crash leaves —
+    is not corruption; recovery silently truncates to the last valid
+    prefix instead of raising this.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class JournalReplayError(JournalError):
+    """Replay diverged from the journal.
+
+    Raised when re-driving the journaled inputs makes the service emit a
+    record that differs from the journaled one (or skip one entirely) —
+    the deterministic-replay contract is broken and the recovered state
+    cannot be trusted.
+    """
+
+
 class ObservabilityError(ReproError):
     """Base class for metrics/tracing errors."""
 

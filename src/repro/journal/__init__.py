@@ -1,0 +1,76 @@
+"""Durable event journal with replay-based crash recovery.
+
+The journal is an append-only, CRC-framed JSONL log of everything a
+:class:`~repro.service.core.CoreService` does — submissions, epoch
+plans, speculative-build starts/finishes, commit decisions, worker
+occupancy — plus periodic inline snapshots of carried state.  Because
+the service is deterministic, replaying the log through the real service
+code reconstructs the exact pre-crash state, and every record the replay
+re-emits is diffed against the journal so divergence is an error rather
+than silent corruption.
+
+Entry points:
+
+* :class:`JournalWriter` — attach via ``CoreServiceConfig.journal``;
+* :func:`recover` — rebuild a service from a journal directory;
+* :func:`summarize` / :func:`verify_journal` — the CLI's inspect/verify;
+* :func:`state_fingerprint` — the replay-determinism oracle used by the
+  crash-point property tests.
+"""
+
+from repro.errors import JournalCorruptError, JournalError, JournalReplayError
+from repro.journal.fingerprint import fingerprint_digest, state_fingerprint
+from repro.journal.framing import ScanResult, encode_record, scan_journal
+from repro.journal.inspect import (
+    JournalSummary,
+    VerifyResult,
+    format_summary,
+    summarize,
+    verify_journal,
+)
+from repro.journal.records import SCHEMA_VERSION
+from repro.journal.recovery import (
+    RecoveryReport,
+    ReplayVerifier,
+    read_journal,
+    recover,
+)
+from repro.journal.sink import (
+    DEFAULT_SNAPSHOT_EVERY,
+    EVENTS_FILENAME,
+    NULL_JOURNAL,
+    CrashingJournal,
+    JournalSink,
+    JournalWriter,
+    SimulatedCrashError,
+    events_path,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "EVENTS_FILENAME",
+    "JournalError",
+    "JournalCorruptError",
+    "JournalReplayError",
+    "SimulatedCrashError",
+    "JournalSink",
+    "JournalWriter",
+    "CrashingJournal",
+    "NULL_JOURNAL",
+    "ScanResult",
+    "encode_record",
+    "scan_journal",
+    "events_path",
+    "read_journal",
+    "recover",
+    "RecoveryReport",
+    "ReplayVerifier",
+    "JournalSummary",
+    "VerifyResult",
+    "summarize",
+    "format_summary",
+    "verify_journal",
+    "state_fingerprint",
+    "fingerprint_digest",
+]

@@ -1,0 +1,106 @@
+"""Canonical state fingerprints: the replay-determinism oracle.
+
+:func:`state_fingerprint` reduces a ``CoreService`` to a JSON-native
+structure covering everything behaviour-relevant — pending queue and its
+sequencing, decision history, ledger rows, frozen ancestor lists,
+scheduled events, worker accounting, repository content and health,
+analyzer base hashes, and the planner's aggregate counters.  Two
+services with equal fingerprints make identical decisions on identical
+future inputs.
+
+Deliberately excluded:
+
+* raw commit ids (process-global counter; content digests stand in);
+* cache *statistics* — analyzer, build-context, prefix, and artifact
+  hit/miss counters measure how much work recovery skipped, not what the
+  service will do next (a recovered service rebuilds some caches cold);
+* the conflict analyzer's at-rest base: the service refreshes it lazily
+  (on the next conflict query, not on commit), so at rest it may be
+  pinned to an older head than a freshly restored service's analyzer —
+  yet both refresh to the same head before any query, and the refreshed
+  base is a pure function of the head snapshot, which *is* fingerprinted
+  (``repo.head_digest``);
+* open trace spans and recorder state (observability, not behaviour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+from repro.journal.records import snapshot_digest
+
+
+def state_fingerprint(service) -> Dict[str, object]:
+    """A JSON-native digestible view of everything behaviour-relevant."""
+    planner = service.planner
+    repo = service.repo
+    workers = planner.workers
+    return {
+        "clock": service.clock.now,
+        "repo": {
+            "history_len": repo.mainline_length(),
+            "green": repo.mainline_green_flags(),
+            "head_digest": snapshot_digest(repo.snapshot().to_dict()),
+        },
+        "pending": [change.change_id for change in planner.queue],
+        "sequences": sorted(
+            [cid, seq] for cid, seq in planner.queue._sequence.items()
+        ),
+        "next_seq": planner.queue._next_seq,
+        "decided": [[cid, v] for cid, v in planner.decided.items()],
+        "decisions": [
+            [d.change_id, d.committed, d.at, d.reason]
+            for d in planner.decisions()
+        ],
+        "ledger": {
+            record.change_id: [
+                record.state.value,
+                record.enqueued_at,
+                record.decided_at,
+                record.decision_reason,
+                record.speculations_succeeded,
+                record.speculations_failed,
+                record.builds_scheduled,
+                record.builds_aborted,
+            ]
+            for record in planner.ledger
+        },
+        "ancestors": {cid: list(ids) for cid, ids in planner.ancestors.items()},
+        "ancestry_version": planner._ancestry_version,
+        "running": sorted(key.label() for key in workers.running_builds()),
+        "scheduled": sorted(
+            [handle.time, key.label()]
+            for key, handle in service._completion_handles.items()
+            if not handle.cancelled
+        ),
+        "stats": {
+            "builds_started": planner.stats.builds_started,
+            "builds_completed": planner.stats.builds_completed,
+            "builds_aborted": planner.stats.builds_aborted,
+            "build_minutes": planner.stats.build_minutes,
+            "wasted_minutes": planner.stats.wasted_minutes,
+            "plan_calls": planner.stats.plan_calls,
+            "plan_calls_skipped": planner.stats.plan_calls_skipped,
+            "steps_executed": planner.stats.steps_executed,
+            "steps_cached": planner.stats.steps_cached,
+        },
+        "workers": {
+            "ewma": [[cid, value] for cid, value in workers._duration_ewma.items()],
+            "slots": [
+                [slot.total_busy, slot.builds_run] for slot in workers._workers
+            ],
+        },
+    }
+
+
+def fingerprint_digest(service) -> str:
+    """SHA-256 over the canonical JSON encoding of the fingerprint."""
+    payload = json.dumps(
+        state_fingerprint(service),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

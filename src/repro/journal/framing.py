@@ -1,0 +1,97 @@
+"""CRC-framed JSONL encoding for the durable event journal.
+
+Every record is one line: an 8-hex-digit CRC32 of the JSON body, a
+space, the canonical JSON body (sorted keys, compact separators), and a
+newline.  The framing distinguishes the two failure modes recovery must
+treat differently:
+
+* a **torn tail** — the final line is incomplete or fails its CRC, the
+  partial write a crash leaves behind.  :func:`scan_journal` reports it
+  and the valid byte prefix; recovery truncates and replays.
+* **interior corruption** — any earlier line is malformed.  That cannot
+  be explained by a single crashed append, so it raises
+  :class:`~repro.errors.JournalCorruptError` instead of silently
+  dropping suffixes of the log.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import JournalCorruptError
+
+
+def encode_record(payload: Dict[str, object]) -> bytes:
+    """One framed line: ``crc32(body) + " " + canonical-json(body) + "\\n"``."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(body), body)
+
+
+def _decode_line(line: bytes) -> Dict[str, object]:
+    """Decode one newline-stripped framed line; raises ValueError."""
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("malformed frame (expected 'crc32 json')")
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        raise ValueError("malformed CRC field") from None
+    body = line[9:]
+    if zlib.crc32(body) != crc:
+        raise ValueError("CRC mismatch")
+    payload = json.loads(body)
+    if not isinstance(payload, dict):
+        raise ValueError("record body is not a JSON object")
+    return payload
+
+
+@dataclass
+class ScanResult:
+    """What :func:`scan_journal` found in one journal file."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    #: Byte length of the valid prefix (everything before a torn tail).
+    valid_bytes: int = 0
+    #: Why the final line was rejected, or ``None`` when the file is whole.
+    tail_error: Optional[str] = None
+
+    @property
+    def torn(self) -> bool:
+        return self.tail_error is not None
+
+
+def scan_journal(path: str) -> ScanResult:
+    """Frame-level scan: decode every line, tolerating only a torn tail.
+
+    A malformed or CRC-failing *final* line (including a line missing its
+    newline terminator) is reported via ``tail_error``; the same defect on
+    any earlier line raises :class:`JournalCorruptError` with its 1-based
+    line number.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    result = ScanResult()
+    offset = 0
+    line_no = 0
+    while offset < len(data):
+        line_no += 1
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            result.tail_error = "truncated final record (no newline)"
+            return result
+        line = data[offset:newline]
+        try:
+            payload = _decode_line(line)
+        except ValueError as exc:
+            if newline == len(data) - 1:
+                result.tail_error = str(exc)
+                return result
+            raise JournalCorruptError(str(exc), line=line_no) from None
+        result.records.append(payload)
+        offset = newline + 1
+        result.valid_bytes = offset
+    return result

@@ -1,0 +1,318 @@
+"""Quiescent-state snapshots: capture and restore a ``CoreService``.
+
+Snapshots are taken only when the service is *quiescent* — no pending
+changes, no scheduled events, no busy workers — so the serialized state
+is exactly the carry-over that outlives a pump: the repository (content
+and per-commit greenness, never raw commit ids, which come from a
+process-global counter), the planner's ledger/decision history, queue
+sequencing, worker duration history, and the shared artifact cache.
+
+What is deliberately *not* captured — analyzer caches, memoized build
+contexts, speculation-prefix states, strategy carry-over — is exactly
+the state the incremental property suites (PRs 2-5) prove bit-identical
+to a cold rebuild: restoring fresh instances changes counters like cache
+hit rates, never outcomes, durations, or decisions.  The artifact cache
+is the one cache that *does* shape observable behaviour (cached steps
+cost less, so warmth feeds build durations and event timing), so it is
+part of the snapshot.
+
+Also home to the codecs the ``init`` record shares with snapshots:
+config, strategy spec, and repository payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional
+
+from repro.buildsys.cache import ArtifactCache
+from repro.buildsys.steps import StepResult, StepSpec
+from repro.changes.state import ChangeRecord
+from repro.errors import JournalCorruptError, JournalError
+from repro.journal.records import decode_change, encode_change
+from repro.planner.planner import Decision, PlannerStats
+from repro.types import ChangeState, StepKind
+from repro.vcs.patch import Patch
+from repro.vcs.repository import Repository
+
+
+def is_quiescent(service) -> bool:
+    """True when no work is pending, scheduled, or running."""
+    return (
+        service.planner.pending_count() == 0
+        and not service._events
+        and service.planner.workers.busy == 0
+    )
+
+
+# -- config / strategy / repo codecs ---------------------------------------
+
+
+def encode_config(config) -> Dict[str, object]:
+    return {
+        "workers": config.workers,
+        "max_pump_minutes": config.max_pump_minutes,
+        "refresh_analyzer_on_commit": config.refresh_analyzer_on_commit,
+        "incremental_analyzer": config.incremental_analyzer,
+        "incremental_executor": config.incremental_executor,
+    }
+
+
+def decode_config(payload: Mapping[str, object]):
+    from repro.service.core import CoreServiceConfig
+
+    return CoreServiceConfig(
+        workers=payload["workers"],
+        max_pump_minutes=payload["max_pump_minutes"],
+        refresh_analyzer_on_commit=payload["refresh_analyzer_on_commit"],
+        incremental_analyzer=payload["incremental_analyzer"],
+        incremental_executor=payload["incremental_executor"],
+    )
+
+
+def strategy_spec(strategy) -> Dict[str, object]:
+    """A reconstructible description of the strategy, when one exists.
+
+    ``SubmitQueueStrategy`` over a ``StaticPredictor`` — the default
+    service stack — round-trips fully.  Anything else is recorded by
+    name only (``opaque``) and :func:`build_strategy` refuses it, so
+    ``recover()`` callers must inject an equivalent strategy themselves.
+    """
+    from repro.predictor.predictors import StaticPredictor
+    from repro.strategies.submitqueue import SubmitQueueStrategy
+
+    if isinstance(strategy, SubmitQueueStrategy) and type(
+        strategy.predictor
+    ) is StaticPredictor:
+        predictor = strategy.predictor
+        return {
+            "name": "SubmitQueueStrategy",
+            "predictor": {
+                "name": "StaticPredictor",
+                "success": predictor._success,
+                "conflict": predictor._conflict,
+            },
+        }
+    return {"name": type(strategy).__name__, "opaque": True}
+
+
+def build_strategy(spec: Mapping[str, object]):
+    """Rebuild a strategy from its journaled spec, or raise JournalError."""
+    if spec.get("name") == "SubmitQueueStrategy":
+        predictor_spec = spec.get("predictor") or {}
+        if predictor_spec.get("name") == "StaticPredictor":
+            from repro.predictor.predictors import StaticPredictor
+            from repro.strategies.submitqueue import SubmitQueueStrategy
+
+            return SubmitQueueStrategy(
+                StaticPredictor(
+                    success=predictor_spec["success"],
+                    conflict=predictor_spec["conflict"],
+                )
+            )
+    raise JournalError(
+        f"journaled strategy {spec.get('name')!r} is not reconstructible; "
+        "pass strategy= to recover()"
+    )
+
+
+def repo_payload(repo: Repository) -> Dict[str, object]:
+    """Content + health of the mainline, free of raw commit ids."""
+    return {
+        "files": repo.snapshot().to_dict(),
+        "green": repo.mainline_green_flags(),
+    }
+
+
+def rebuild_repo(payload: Mapping[str, object]) -> Repository:
+    """A repository with the journaled head content and mainline health.
+
+    The original layered deltas are not preserved — the root commit holds
+    the whole tree and padding commits with empty patches re-create the
+    history length and per-commit green flags.  Everything observable
+    through the repository API that the service consumes (head snapshot,
+    history length, greenness) matches; commit ids never can, and nothing
+    downstream depends on them.
+    """
+    green: List[bool] = list(payload["green"])
+    if not green:
+        raise JournalCorruptError("repo payload has an empty mainline")
+    repo = Repository(payload["files"])
+    if not green[0]:
+        repo.mark_red(repo.head())
+    for flag in green[1:]:
+        repo.commit_to_mainline(
+            Patch(), message="journal restore padding", green=bool(flag)
+        )
+    return repo
+
+
+# -- capture ----------------------------------------------------------------
+
+
+def _encode_ledger_record(record: ChangeRecord) -> Dict[str, object]:
+    return {
+        "change": encode_change(record.change),
+        "state": record.state.value,
+        "enqueued": record.enqueued_at,
+        "decided_at": record.decided_at,
+        "reason": record.decision_reason,
+        "ss": record.speculations_succeeded,
+        "sf": record.speculations_failed,
+        "bs": record.builds_scheduled,
+        "ba": record.builds_aborted,
+    }
+
+
+def _decode_ledger_record(payload: Mapping[str, object]) -> ChangeRecord:
+    return ChangeRecord(
+        change=decode_change(payload["change"]),
+        state=ChangeState(payload["state"]),
+        enqueued_at=payload["enqueued"],
+        decided_at=payload["decided_at"],
+        decision_reason=payload["reason"],
+        speculations_succeeded=payload["ss"],
+        speculations_failed=payload["sf"],
+        builds_scheduled=payload["bs"],
+        builds_aborted=payload["ba"],
+    )
+
+
+def _artifact_cache_of(service) -> Optional[ArtifactCache]:
+    executor = getattr(service.controller, "executor", None)
+    return getattr(executor, "cache", None)
+
+
+def capture_state(service) -> Dict[str, object]:
+    """Serialize a quiescent service's carry-over state."""
+    if not is_quiescent(service):
+        raise JournalError("snapshots require a quiescent service")
+    planner = service.planner
+    queue = planner.queue
+    workers = planner.workers
+    cache = _artifact_cache_of(service)
+    return {
+        "at": service.clock.now,
+        "repo": repo_payload(service.repo),
+        "ledger": [
+            _encode_ledger_record(record) for record in planner.ledger
+        ],
+        "decided": [
+            [change_id, verdict] for change_id, verdict in planner.decided.items()
+        ],
+        "decisions": [
+            [d.change_id, d.committed, d.at, d.reason]
+            for d in planner.decisions()
+        ],
+        "ancestors": [
+            [change_id, list(ids)] for change_id, ids in planner.ancestors.items()
+        ],
+        "sequences": [
+            [change_id, seq] for change_id, seq in queue._sequence.items()
+        ],
+        "next_seq": queue._next_seq,
+        "ancestry_version": planner._ancestry_version,
+        "stats": {
+            "builds_started": planner.stats.builds_started,
+            "builds_completed": planner.stats.builds_completed,
+            "builds_aborted": planner.stats.builds_aborted,
+            "build_minutes": planner.stats.build_minutes,
+            "wasted_minutes": planner.stats.wasted_minutes,
+            "plan_calls": planner.stats.plan_calls,
+            "plan_calls_skipped": planner.stats.plan_calls_skipped,
+            "steps_executed": planner.stats.steps_executed,
+            "steps_cached": planner.stats.steps_cached,
+        },
+        "workers": {
+            "ewma": [
+                [change_id, value]
+                for change_id, value in workers._duration_ewma.items()
+            ],
+            "slots": [
+                [slot.total_busy, slot.builds_run] for slot in workers._workers
+            ],
+        },
+        "artifact_cache": []
+        if cache is None
+        else [
+            [digest, kind.value, result.spec.target, result.passed, result.log]
+            for (digest, kind), result in cache.items()
+        ],
+    }
+
+
+# -- restore ----------------------------------------------------------------
+
+
+def restore_service(
+    state: Mapping[str, object],
+    config,
+    strategy,
+    recorder=None,
+    store=None,
+):
+    """A fresh ``CoreService`` carrying the snapshot's state.
+
+    Rebuilt caches (analyzer, build contexts, strategy carry-over) start
+    cold; the artifact cache — the one whose warmth shapes observable
+    durations — is reloaded, so replayed and future builds cost exactly
+    what they would have in the uninterrupted run.
+    """
+    from repro.obs.recorder import NULL_RECORDER
+    from repro.service.core import CoreService
+
+    if recorder is None:
+        recorder = NULL_RECORDER
+    repo = rebuild_repo(state["repo"])
+    service = CoreService(
+        repo,
+        strategy,
+        config=replace(config, journal=None),
+        store=store,
+        recorder=recorder,
+    )
+    service.clock.advance_to(state["at"])
+
+    planner = service.planner
+    for payload in state["ledger"]:
+        record = _decode_ledger_record(payload)
+        planner.ledger._records[record.change_id] = record
+        planner.records[record.change_id] = record
+        planner.all_changes[record.change_id] = record.change
+    planner.decided = {change_id: verdict for change_id, verdict in state["decided"]}
+    planner._decision_log = [
+        Decision(change_id=cid, committed=committed, at=at, reason=reason)
+        for cid, committed, at, reason in state["decisions"]
+    ]
+    planner.ancestors = {cid: list(ids) for cid, ids in state["ancestors"]}
+    planner.queue._sequence = {cid: seq for cid, seq in state["sequences"]}
+    planner.queue._next_seq = state["next_seq"]
+    planner._ancestry_version = state["ancestry_version"]
+    planner.stats = PlannerStats(**state["stats"])
+
+    workers = planner.workers
+    for change_id, value in state["workers"]["ewma"]:
+        workers._duration_ewma[change_id] = value
+    slots = state["workers"]["slots"]
+    if len(slots) != len(workers._workers):
+        raise JournalCorruptError(
+            f"snapshot describes {len(slots)} workers, config has "
+            f"{len(workers._workers)}"
+        )
+    for slot, (total_busy, builds_run) in zip(workers._workers, slots):
+        slot.total_busy = total_busy
+        slot.builds_run = builds_run
+
+    cache = _artifact_cache_of(service)
+    if cache is not None:
+        for digest, kind, target, passed, log in state["artifact_cache"]:
+            step_kind = StepKind(kind)
+            cache.put(
+                digest,
+                step_kind,
+                StepResult(StepSpec(target, step_kind), passed, log),
+            )
+    # The restored planner sits exactly where the original's last plan()
+    # left it, so seed the replan-skip fingerprint to match.
+    planner._last_plan_fingerprint = planner._plan_fingerprint()
+    return service

@@ -19,6 +19,8 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.changes.change import Change
 from repro.conflict.analyzer import ConflictAnalyzer
 from repro.errors import SimulationError
+from repro.journal import records as journal_records
+from repro.journal.sink import NULL_JOURNAL, JournalSink
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.planner.controller import BuildController, FullStackBuildController
 from repro.planner.planner import Decision, PlannerEngine
@@ -48,6 +50,12 @@ class CoreServiceConfig:
     #: both snapshot sides from scratch per build.  Bit-identical outcomes
     #: either way; only applies to the default controller.
     incremental_executor: bool = True
+    #: Durable event journal (a :class:`~repro.journal.JournalWriter`).
+    #: ``None`` — the default — attaches the zero-cost null sink.  This
+    #: field is read once at construction; attach/detach later via
+    #: :meth:`CoreService.attach_journal` (the config object may be the
+    #: shared default instance and must never be mutated).
+    journal: Optional[JournalSink] = None
 
 
 class CoreService:
@@ -103,6 +111,22 @@ class CoreService:
         self._events = EventQueue()
         self._completion_handles: Dict[BuildKey, EventHandle] = {}
         self._head_at_analyzer = repo.head()
+        self._journal = config.journal if config.journal is not None else NULL_JOURNAL
+        if self._journal.enabled:
+            from repro.journal.snapshots import (
+                encode_config,
+                repo_payload,
+                strategy_spec,
+            )
+
+            self._journal.append(
+                journal_records.init_record(
+                    self.clock.now,
+                    encode_config(config),
+                    strategy_spec(strategy),
+                    repo_payload(repo),
+                )
+            )
 
     # -- conflict analysis ----------------------------------------------------
 
@@ -140,10 +164,28 @@ class CoreService:
     def analyzer(self) -> ConflictAnalyzer:
         return self._analyzer
 
+    # -- journaling ---------------------------------------------------------
+
+    @property
+    def journal(self) -> JournalSink:
+        return self._journal
+
+    def attach_journal(self, sink: Optional[JournalSink]) -> None:
+        """Swap the journal sink (``None`` detaches to the null sink).
+
+        Used by recovery: the service replays against a verifying sink,
+        then switches to the resumed on-disk writer.
+        """
+        self._journal = sink if sink is not None else NULL_JOURNAL
+
     # -- operation ----------------------------------------------------------
 
     def submit(self, change: Change) -> None:
         """Enqueue a change at the current service time."""
+        if self._journal.enabled:
+            self._journal.append(
+                journal_records.submit_record(self.clock.now, change)
+            )
         self.planner.submit(change, self.clock.now)
         if self.recorder.enabled:
             self.recorder.counter(
@@ -171,31 +213,15 @@ class CoreService:
             )
         decisions: List[Decision] = []
         guard = self.clock.now + self.config.max_pump_minutes
+        steps = 0
         while self._events or self.planner.pending_count() > 0:
-            handle = self._events.pop()
-            if handle is None:
-                # No events but changes pending: replan (the stall guard in
-                # the planner will start the head's decisive build).
-                self._replan()
-                if not self._events:
-                    raise SimulationError(
-                        "core service stalled with pending changes"
-                    )
-                continue
-            self.clock.advance_to(handle.time)
-            if self.clock.now > guard:
-                raise SimulationError("pump exceeded max_pump_minutes")
-            key = handle.payload
-            self._completion_handles.pop(key, None)
-            new_decisions = self.planner.complete(key, self.clock.now)
-            for decision in new_decisions:
-                # Decided changes leave the pending set; evict them so the
-                # analyzer's per-change and pair caches stay bounded.
-                self._analyzer.forget(decision.change_id)
-                if self._store_mirror is not None:
-                    self._store_mirror.on_decision(decision)
-            decisions.extend(new_decisions)
-            self._replan()
+            decisions.extend(self._step(guard))
+            steps += 1
+        if steps and self._journal.enabled:
+            self._journal.append(
+                journal_records.pump_end_record(self.clock.now, len(decisions))
+            )
+            self._journal.maybe_snapshot(self)
         if self.recorder.enabled:
             self.planner.finish_trace(self.clock.now)
             committed = sum(1 for d in decisions if d.committed)
@@ -208,8 +234,90 @@ class CoreService:
             )
         return decisions
 
+    def _step(self, guard: Optional[float]) -> List[Decision]:
+        """Advance the event loop by exactly one step.
+
+        Pops the next completion event (or replans on a stall) and applies
+        its decisions.  Both the pump loop and journal replay drive the
+        service through this method — replay passes ``guard=None`` since a
+        journal is finite.  Every step journals its *input* (the stall or
+        the build completion) before applying it, so a crash mid-step
+        re-drives the step from the journal.
+        """
+        handle = self._events.pop()
+        if handle is None:
+            # No events but changes pending: replan (the stall guard in
+            # the planner will start the head's decisive build).
+            if self._journal.enabled:
+                self._journal.append(journal_records.stall_record(self.clock.now))
+            self._replan()
+            if not self._events:
+                raise SimulationError("core service stalled with pending changes")
+            return []
+        self.clock.advance_to(handle.time)
+        if guard is not None and self.clock.now > guard:
+            raise SimulationError("pump exceeded max_pump_minutes")
+        key = handle.payload
+        self._completion_handles.pop(key, None)
+        if self._journal.enabled:
+            self._journal.append(
+                journal_records.build_finish_record(self.clock.now, key, None)
+            )
+        mainline_before = self.repo.mainline_length()
+        new_decisions = self.planner.complete(key, self.clock.now)
+        if self._journal.enabled:
+            commit_index = mainline_before
+            for decision in new_decisions:
+                self._journal.append(
+                    journal_records.decision_record(
+                        self.clock.now,
+                        decision.change_id,
+                        decision.committed,
+                        decision.reason,
+                    )
+                )
+                if decision.committed:
+                    commit_id = self.repo.mainline_history()[commit_index]
+                    self._journal.append(
+                        journal_records.commit_record(
+                            self.clock.now,
+                            decision.change_id,
+                            commit_index,
+                            self.repo.commit(commit_id).delta,
+                        )
+                    )
+                    commit_index += 1
+        for decision in new_decisions:
+            # Decided changes leave the pending set; evict them so the
+            # analyzer's per-change and pair caches stay bounded.
+            self._analyzer.forget(decision.change_id)
+            if self._store_mirror is not None:
+                self._store_mirror.on_decision(decision)
+        self._replan()
+        return new_decisions
+
     def _replan(self) -> None:
         result = self.planner.plan(self.clock.now)
+        if self._journal.enabled and (result.started or result.aborted):
+            self._journal.append(
+                journal_records.epoch_record(
+                    self.clock.now,
+                    [scheduled.key for scheduled in result.started],
+                    list(result.aborted),
+                )
+            )
+            for scheduled in result.started:
+                self._journal.append(
+                    journal_records.build_start_record(
+                        self.clock.now, scheduled.key, scheduled.duration
+                    )
+                )
+            workers = self.planner.workers
+            self._journal.append(
+                journal_records.worker_record(
+                    self.clock.now, workers.busy, workers.capacity
+                )
+            )
         for key in result.aborted:
             pending = self._completion_handles.pop(key, None)
             if pending is not None:

@@ -203,6 +203,19 @@ class Repository:
         """All mainline commit ids, oldest first."""
         return list(self._mainline_history)
 
+    def mainline_length(self) -> int:
+        """Number of mainline commits (root included)."""
+        return len(self._mainline_history)
+
+    def mainline_green_flags(self) -> List[bool]:
+        """Per-commit health along the mainline, oldest first.
+
+        A commit-id-free view of mainline history: journal snapshots and
+        state fingerprints use it because commit ids come from a
+        process-global counter and differ across replays.
+        """
+        return [self._commits[cid].green for cid in self._mainline_history]
+
     def commit_to_mainline(
         self,
         patch: Patch,

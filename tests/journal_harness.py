@@ -1,0 +1,138 @@
+"""Shared driving harness for the journal test suites.
+
+The journal tests all need the same thing: a deterministic scripted run
+of a full-stack :class:`~repro.service.core.CoreService` — same repo,
+same changes, same submit/pump interleaving — executed any number of
+times (reference run, crashed run, recovered run) with identical
+outcomes.  The harness mints one change per synthetic-monorepo target
+(disjoint files, so patches minted against the pristine base keep
+applying as earlier changes land) and re-clones every change through the
+journal codec per run, so no run ever observes another run's object
+mutations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.changes.change import Change
+from repro.journal import JournalWriter
+from repro.journal.records import decode_change, encode_change
+from repro.predictor.predictors import StaticPredictor
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+#: Small two-layer monorepo: 5 targets, 2 source files each.
+SPEC = MonorepoSpec(layers=(2, 3), fan_in=2)
+REPO_SEED = 11
+WORKERS = 3
+SNAPSHOT_EVERY = 6
+
+#: Script op forms: ``("submit", change_index)`` and ``("pump",)``.
+Op = Tuple
+
+
+def mint_changes(seed: int = REPO_SEED) -> List[Change]:
+    """Six changes over disjoint targets: 3 clean, 1 broken, 1 conflict pair.
+
+    Each target is edited by exactly one change (the conflict pair shares
+    a target but edits different source files), so every patch stays
+    applicable no matter which other changes commit first.
+    """
+    synth = SyntheticMonorepo(SPEC, seed=seed)
+    targets = synth.target_names()
+    changes = [
+        synth.make_clean_change(target_name=targets[i], submitted_at=float(i))
+        for i in range(3)
+    ]
+    changes.append(
+        synth.make_broken_change(target_name=targets[3], submitted_at=3.0)
+    )
+    first, second = synth.make_conflicting_pair(
+        target_name=targets[4], submitted_at=4.0
+    )
+    changes.extend([first, second])
+    return changes
+
+
+def script_ops(count: int, pump_after: Sequence[bool]) -> List[Op]:
+    """Interleave ``count`` submissions with pumps; always pump at the end."""
+    ops: List[Op] = []
+    for index in range(count):
+        ops.append(("submit", index))
+        if index < len(pump_after) and pump_after[index]:
+            ops.append(("pump",))
+    ops.append(("pump",))
+    return ops
+
+
+def clone(change: Change) -> Change:
+    """An independent copy of a change via the journal codec."""
+    return decode_change(encode_change(change))
+
+
+def make_service(journal=None, seed: int = REPO_SEED) -> CoreService:
+    repo = SyntheticMonorepo(SPEC, seed=seed).repo
+    strategy = SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.05))
+    return CoreService(
+        repo,
+        strategy,
+        config=CoreServiceConfig(workers=WORKERS, journal=journal),
+    )
+
+
+def drive(
+    service: CoreService,
+    changes: Sequence[Change],
+    ops: Sequence[Op],
+) -> None:
+    """Run a script against a fresh service."""
+    for op in ops:
+        if op[0] == "submit":
+            service.submit(clone(changes[op[1]]))
+        else:
+            service.pump()
+
+
+def finish_after_recovery(report, changes: Sequence[Change], ops: Sequence[Op]) -> None:
+    """Re-drive the part of a script a recovered service has not yet seen.
+
+    Submissions the journal captured are skipped (the recovered service
+    already knows them); completed pumps — ``report.completed_pumps`` of
+    them — are skipped *positionally*, because re-running an earlier pump
+    op would drain builds before later lost submissions re-arrive and
+    diverge from the uninterrupted schedule.  The first non-skipped pump
+    then resumes exactly the pump the crash interrupted (or is a no-op).
+    """
+    service = report.service
+    pumps_seen = 0
+    for op in ops:
+        if op[0] == "submit":
+            change = changes[op[1]]
+            if change.change_id in service.planner.all_changes:
+                continue
+            service.submit(clone(change))
+        else:
+            pumps_seen += 1
+            if pumps_seen > report.completed_pumps:
+                service.pump()
+
+
+def reference_run(
+    journal_dir: Optional[str],
+    changes: Sequence[Change],
+    ops: Sequence[Op],
+    snapshot_every: int = SNAPSHOT_EVERY,
+) -> CoreService:
+    """One uninterrupted scripted run, journaled when a dir is given."""
+    writer = (
+        JournalWriter(journal_dir, snapshot_every=snapshot_every)
+        if journal_dir is not None
+        else None
+    )
+    service = make_service(journal=writer)
+    drive(service, changes, ops)
+    if writer is not None:
+        writer.close()
+    return service

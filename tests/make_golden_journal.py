@@ -1,0 +1,49 @@
+"""Regenerate the golden journal fixture under ``tests/data/golden_journal``.
+
+Run from the repo root with a *fresh* interpreter (the journal embeds
+change ids from a process-global counter, so generation must not share a
+process with anything else that mints changes):
+
+    PYTHONPATH=src python tests/make_golden_journal.py
+
+Writes ``events.jsonl`` (the journal), ``inspect.txt`` (the exact
+``python -m repro journal inspect`` output), and ``fingerprint.txt``
+(the recovered-state fingerprint digest).  ``test_journal_golden.py``
+pins all three.
+"""
+
+import os
+import shutil
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from journal_harness import mint_changes, reference_run, script_ops  # noqa: E402
+
+from repro.journal import fingerprint_digest, format_summary, summarize  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "data", "golden_journal")
+#: Submission/pump interleaving of the golden run: covers commits, a
+#: rejection, a real conflict pair, mid-stream pumps, and a snapshot.
+GOLDEN_OPS = script_ops(6, (False, True, False, False, True, False))
+
+
+def main(out_dir: str = GOLDEN_DIR) -> int:
+    if os.path.isdir(out_dir):
+        shutil.rmtree(out_dir)
+    os.makedirs(out_dir)
+    service = reference_run(out_dir, mint_changes(), GOLDEN_OPS)
+    summary = summarize(out_dir)
+    # The summary embeds the absolute journal path; pin a relative one.
+    summary.path = "tests/data/golden_journal/events.jsonl"
+    with open(os.path.join(out_dir, "inspect.txt"), "w") as handle:
+        handle.write(format_summary(summary) + "\n")
+    with open(os.path.join(out_dir, "fingerprint.txt"), "w") as handle:
+        handle.write(fingerprint_digest(service) + "\n")
+    print(f"wrote {out_dir}: {summary.records} records")
+    print(f"fingerprint: {fingerprint_digest(service)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:2]))

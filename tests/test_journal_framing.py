@@ -1,0 +1,108 @@
+"""Frame-level journal tests: CRC framing, torn tails, interior corruption."""
+
+import pytest
+
+from repro.errors import JournalCorruptError
+from repro.journal.framing import encode_record, scan_journal
+
+
+def _write(path, chunks):
+    with open(path, "wb") as handle:
+        for chunk in chunks:
+            handle.write(chunk)
+
+
+def test_encode_decode_roundtrip(tmp_path):
+    records = [{"t": "init", "v": 1, "n": i, "s": "x" * i} for i in range(5)]
+    path = tmp_path / "events.jsonl"
+    _write(path, [encode_record(r) for r in records])
+    result = scan_journal(str(path))
+    assert result.records == records
+    assert not result.torn
+    assert result.valid_bytes == path.stat().st_size
+
+
+def test_empty_file_scans_clean(tmp_path):
+    path = tmp_path / "events.jsonl"
+    _write(path, [])
+    result = scan_journal(str(path))
+    assert result.records == [] and not result.torn and result.valid_bytes == 0
+
+
+def test_truncated_final_record_is_torn_tail(tmp_path):
+    good = encode_record({"t": "init", "v": 1})
+    partial = encode_record({"t": "submit", "at": 1.0})[:-4]  # loses newline
+    path = tmp_path / "events.jsonl"
+    _write(path, [good, partial])
+    result = scan_journal(str(path))
+    assert result.torn
+    assert "no newline" in result.tail_error
+    assert result.records == [{"t": "init", "v": 1}]
+    assert result.valid_bytes == len(good)
+
+
+def test_bad_crc_on_final_line_is_torn_tail(tmp_path):
+    good = encode_record({"t": "init", "v": 1})
+    bad = bytearray(encode_record({"t": "submit", "at": 1.0}))
+    bad[12] ^= 0xFF  # flip a body byte; newline terminator intact
+    path = tmp_path / "events.jsonl"
+    _write(path, [good, bytes(bad)])
+    result = scan_journal(str(path))
+    assert result.torn
+    assert result.records == [{"t": "init", "v": 1}]
+    assert result.valid_bytes == len(good)
+
+
+def test_bad_crc_on_interior_line_raises(tmp_path):
+    good = encode_record({"t": "init", "v": 1})
+    bad = bytearray(encode_record({"t": "submit", "at": 1.0}))
+    bad[12] ^= 0xFF
+    tail = encode_record({"t": "pump_end", "at": 2.0, "decisions": 0})
+    path = tmp_path / "events.jsonl"
+    _write(path, [good, bytes(bad), tail])
+    with pytest.raises(JournalCorruptError) as excinfo:
+        scan_journal(str(path))
+    assert excinfo.value.line == 2
+
+
+def test_malformed_interior_frame_raises(tmp_path):
+    good = encode_record({"t": "init", "v": 1})
+    path = tmp_path / "events.jsonl"
+    _write(path, [b"not a frame\n", good])
+    with pytest.raises(JournalCorruptError) as excinfo:
+        scan_journal(str(path))
+    assert excinfo.value.line == 1
+
+
+def test_non_object_body_rejected(tmp_path):
+    import json
+    import zlib
+
+    body = json.dumps([1, 2, 3]).encode()
+    line = b"%08x %s\n" % (zlib.crc32(body), body)
+    good = encode_record({"t": "init", "v": 1})
+    path = tmp_path / "events.jsonl"
+    _write(path, [line, good])
+    with pytest.raises(JournalCorruptError):
+        scan_journal(str(path))
+
+
+def test_byte_truncation_never_raises_only_shortens(tmp_path):
+    """Chopping any suffix off a valid journal yields a valid prefix.
+
+    This is the crash model: a torn tail is always recoverable, byte for
+    byte, no matter where the write stopped.
+    """
+    records = [{"t": "init", "v": 1}] + [
+        {"t": "submit", "at": float(i), "payload": "y" * (i % 7)}
+        for i in range(6)
+    ]
+    data = b"".join(encode_record(r) for r in records)
+    path = tmp_path / "events.jsonl"
+    for cut in range(len(data) + 1):
+        _write(path, [data[:cut]])
+        result = scan_journal(str(path))
+        assert result.records == records[: len(result.records)]
+        assert result.valid_bytes <= cut
+        if cut != result.valid_bytes:
+            assert result.torn

@@ -1,0 +1,161 @@
+"""Crash-point property tests: recovery is exact at *every* crash point.
+
+The correctness oracle is deterministic replay: an uninterrupted
+reference run fixes the expected final state; a crashed run (journal
+killed at a random append, or its file truncated at a random byte) must
+— after ``recover()`` plus re-driving the not-yet-journaled remainder of
+the script — reach a state whose :func:`state_fingerprint` is equal to
+the reference's, bit for bit.  Crash points cover everything the journal
+can half-write: mid-epoch assertion batches, decision/commit pairs,
+lost driver records, and torn final records down to single bytes.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JournalCorruptError
+from repro.journal import (
+    CrashingJournal,
+    JournalWriter,
+    SimulatedCrashError,
+    events_path,
+    recover,
+    state_fingerprint,
+)
+
+from .journal_harness import (
+    SNAPSHOT_EVERY,
+    drive,
+    finish_after_recovery,
+    make_service,
+    mint_changes,
+    reference_run,
+    script_ops,
+)
+
+#: Minted once; every run re-clones them through the journal codec.
+CHANGES = mint_changes()
+
+#: (fingerprint, journal bytes) per script — reference runs are pure.
+_REF_CACHE = {}
+
+
+def _reference(ops):
+    key = tuple(ops)
+    if key not in _REF_CACHE:
+        with tempfile.TemporaryDirectory() as tmp:
+            journal_dir = os.path.join(tmp, "ref")
+            service = reference_run(journal_dir, CHANGES, ops)
+            data = open(events_path(journal_dir), "rb").read()
+        _REF_CACHE[key] = (state_fingerprint(service), data)
+    return _REF_CACHE[key]
+
+
+def _crashed_run(journal_dir, ops, crash_after, before_write):
+    """Drive the script against a journal that dies at append N."""
+    writer = JournalWriter(journal_dir, snapshot_every=SNAPSHOT_EVERY)
+    crashing = CrashingJournal(writer, crash_after, before_write=before_write)
+    try:
+        service = make_service(journal=crashing)
+        drive(service, CHANGES, ops)
+    except SimulatedCrashError:
+        pass
+    writer.close()
+
+
+def _recover_and_finish(journal_dir, ops):
+    """Recover, then re-drive whatever the journal had not yet seen."""
+    report = recover(journal_dir)
+    finish_after_recovery(report, CHANGES, ops)
+    return state_fingerprint(report.service)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_crash_at_random_append_recovers_exactly(data):
+    count = data.draw(st.integers(min_value=2, max_value=6), label="changes")
+    pump_after = data.draw(
+        st.lists(st.booleans(), min_size=count, max_size=count), label="pumps"
+    )
+    ops = script_ops(count, pump_after)
+    reference_fp, reference_bytes = _reference(ops)
+    total_appends = reference_bytes.count(b"\n")
+    crash_after = data.draw(
+        st.integers(min_value=0, max_value=total_appends + 2),
+        label="crash_after",
+    )
+    before_write = data.draw(st.booleans(), label="before_write")
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_dir = os.path.join(tmp, "crash")
+        _crashed_run(journal_dir, ops, crash_after, before_write)
+        if crash_after == 0 and before_write:
+            # Even the init record was lost: nothing to recover from.
+            with pytest.raises(JournalCorruptError):
+                recover(journal_dir)
+            return
+        assert _recover_and_finish(journal_dir, ops) == reference_fp
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_truncation_at_any_byte_recovers_exactly(data):
+    """Byte-level torn tails: cut the journal anywhere, recover, finish."""
+    count = data.draw(st.integers(min_value=2, max_value=6), label="changes")
+    pump_after = data.draw(
+        st.lists(st.booleans(), min_size=count, max_size=count), label="pumps"
+    )
+    ops = script_ops(count, pump_after)
+    reference_fp, reference_bytes = _reference(ops)
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(reference_bytes)), label="cut"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_dir = os.path.join(tmp, "torn")
+        os.makedirs(journal_dir)
+        with open(events_path(journal_dir), "wb") as handle:
+            handle.write(reference_bytes[:cut])
+        if cut <= reference_bytes.index(b"\n"):
+            # Not even the init record survived whole.
+            with pytest.raises(JournalCorruptError):
+                recover(journal_dir)
+            return
+        assert _recover_and_finish(journal_dir, ops) == reference_fp
+
+
+def test_crash_at_every_append_exhaustive():
+    """Deterministic sweep: every append index, both crash flavours."""
+    ops = script_ops(6, [False, True, False, False, True, False])
+    reference_fp, reference_bytes = _reference(ops)
+    total_appends = reference_bytes.count(b"\n")
+    assert total_appends > 20  # the sweep actually covers a real run
+    for crash_after in range(1, total_appends):
+        for before_write in (False, True):
+            with tempfile.TemporaryDirectory() as tmp:
+                journal_dir = os.path.join(tmp, "crash")
+                _crashed_run(journal_dir, ops, crash_after, before_write)
+                recovered_fp = _recover_and_finish(journal_dir, ops)
+                assert recovered_fp == reference_fp, (
+                    f"divergence at crash_after={crash_after} "
+                    f"before_write={before_write}"
+                )
+
+
+def test_recovered_journal_is_reusable_after_each_crash():
+    """After recovery the journal itself recovers again, losslessly."""
+    ops = script_ops(4, [True, False, False, True])
+    reference_fp, reference_bytes = _reference(ops)
+    total_appends = reference_bytes.count(b"\n")
+    for crash_after in range(1, total_appends, 5):
+        with tempfile.TemporaryDirectory() as tmp:
+            journal_dir = os.path.join(tmp, "crash")
+            _crashed_run(journal_dir, ops, crash_after, before_write=False)
+            first = _recover_and_finish(journal_dir, ops)
+            assert first == reference_fp
+            # A second recovery of the now-complete journal replays the
+            # whole run, including the records appended post-recovery.
+            second = recover(journal_dir, attach=False)
+            assert state_fingerprint(second.service) == reference_fp
