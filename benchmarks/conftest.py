@@ -38,6 +38,11 @@ _PLANNER_BENCH: dict = {}
 #: end-to-end cell), written to ``BENCH_exec.json``.
 _EXEC_BENCH: dict = {}
 
+#: Parallel-backend datapoints (wall-clock build-phase speedup of the
+#: process pool over the serial local backend on the figure-12 cell),
+#: written to ``BENCH_parallel.json``.
+_PARALLEL_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -63,6 +68,11 @@ def record_exec_bench(key: str, payload: dict) -> None:
     _EXEC_BENCH[key] = payload
 
 
+def record_parallel_bench(key: str, payload: dict) -> None:
+    """Record one parallel-speedup datapoint for BENCH_parallel.json."""
+    _PARALLEL_BENCH[key] = payload
+
+
 def _write_bench_json(filename: str, kernels: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {
@@ -82,6 +92,8 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_json("BENCH_planner.json", _PLANNER_BENCH)
     if _EXEC_BENCH:
         _write_bench_json("BENCH_exec.json", _EXEC_BENCH)
+    if _PARALLEL_BENCH:
+        _write_bench_json("BENCH_parallel.json", _PARALLEL_BENCH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

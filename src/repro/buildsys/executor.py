@@ -336,13 +336,18 @@ class BuildExecutor:
                     self.cache.put(digest, kind, result)
                 report.append(result)
                 if stop_on_failure and not result.passed:
-                    self._record(report)
+                    self.record_report(report)
                     return report
-        self._record(report)
+        self.record_report(report)
         return report
 
-    def _record(self, report: BuildReport) -> None:
-        """Publish one build's cache effectiveness to the registry."""
+    def record_report(self, report: BuildReport) -> None:
+        """Publish one build's cache effectiveness to the registry.
+
+        Public because builds merged back from a parallel backend are
+        reconstructed outside :meth:`_run` yet must feed the same
+        executor metrics.
+        """
         if not self.recorder.enabled:
             return
         self.recorder.counter(

@@ -108,6 +108,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-attach", action="store_true",
         help="leave the journal untouched (no tail truncation or resume)",
     )
+
+    parallel = sub.add_parser(
+        "parallel",
+        help="demo process-parallel speculation builds vs the serial backend",
+    )
+    parallel.add_argument(
+        "--changes", type=int, default=12, help="changes in the cell"
+    )
+    parallel.add_argument(
+        "--workers", type=int, default=4, help="worker processes"
+    )
+    parallel.add_argument(
+        "--step-wall-ms", type=float, default=5.0,
+        help="synthetic wall cost per executed build step (milliseconds)",
+    )
+    parallel.add_argument("--seed", type=int, default=23)
     return parser
 
 
@@ -382,6 +398,47 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import format_table
+    from repro.parallel.workload import mint_cell, run_cell
+
+    step_wall = args.step_wall_ms / 1000.0
+    files, changes = mint_cell(seed=args.seed, count=args.changes)
+    results = [
+        run_cell(files, changes, backend=spec, parallel_workers=workers,
+                 step_wall_seconds=step_wall)
+        for spec, workers in (
+            ("local", None),
+            ("process", args.workers),
+        )
+    ]
+    serial = results[0]
+    rows = [
+        [
+            result.backend,
+            f"{result.wall_seconds:.2f}s",
+            f"{serial.wall_seconds / result.wall_seconds:.2f}x",
+            str(result.builds_started),
+            f"{result.committed}/{len(result.decisions)}",
+            result.fingerprint[:12],
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["backend", "wall", "speedup", "builds", "landed", "fingerprint"],
+            rows,
+            title=(
+                f"{args.changes} changes, {args.step_wall_ms:g} ms/step, "
+                f"{args.workers} worker processes"
+            ),
+        )
+    )
+    identical = all(r.fingerprint == serial.fingerprint for r in results)
+    print(f"state fingerprints identical: {identical}")
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -391,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "obs": _cmd_obs,
         "journal": _cmd_journal,
+        "parallel": _cmd_parallel,
     }
     return handlers[args.command](args)
 

@@ -136,6 +136,17 @@ class JournalReplayError(JournalError):
     """
 
 
+class ParallelExecutionError(ReproError):
+    """A parallel build backend failed outside the build semantics.
+
+    Covers malformed backend specs, broken worker pools, and worker-side
+    crashes (which workers report as data, never as raw tracebacks).
+    Build-semantic failures — failing steps, merge conflicts — are *not*
+    errors; they come back as ordinary failed ``BuildExecution`` results,
+    exactly as the serial path reports them.
+    """
+
+
 class ObservabilityError(ReproError):
     """Base class for metrics/tracing errors."""
 

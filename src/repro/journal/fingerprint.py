@@ -37,7 +37,18 @@ def state_fingerprint(service) -> Dict[str, object]:
     planner = service.planner
     repo = service.repo
     workers = planner.workers
+    # Submissions scheduled via enqueue() but not yet accepted.  The key
+    # appears only when non-empty so fingerprints of services that never
+    # enqueue (every journal snapshot — pumps drain the queue first, and
+    # all pre-overlap golden pins) are byte-stable.
+    queued = sorted(
+        [handle.time, handle.seq, handle.payload.change.change_id]
+        for handle in getattr(service, "_submission_handles", ())
+        if not handle.cancelled
+    )
+    extra: Dict[str, object] = {"queued": queued} if queued else {}
     return {
+        **extra,
         "clock": service.clock.now,
         "repo": {
             "history_len": repo.mainline_length(),

@@ -233,11 +233,29 @@ def recover(
 
     replayed = 0
     while True:
-        record = verifier.peek_driver()
+        try:
+            record = verifier.peek_driver()
+        except JournalReplayError:
+            # Overlapped runs journal their epoch/build-start records at
+            # *resolution*, so after re-driving the submits that
+            # dispatched them the records are still pending in the
+            # backend.  Resolve and re-peek: the deferred emissions are
+            # checked like any others (a genuine divergence still
+            # surfaces, now from append() with full context).
+            planner = getattr(service, "planner", None)
+            if planner is None or not planner.has_pending_builds():
+                raise
+            service._resolve_builds()
+            record = verifier.peek_driver()
         if record is None:
             break
         kind = record["t"]
         if kind == rec.SUBMIT:
+            # Overlapped runs journal submissions at their *fire* time,
+            # which can sit between build completions; advance the clock
+            # so the re-emitted record's timestamp matches (a no-op for
+            # submissions journaled at the current time).
+            service.clock.advance_to(record["at"])
             service.submit(rec.decode_change(record["change"]))
         else:  # BUILD_FINISH or STALL: both advance the event loop one step
             service._step(guard=None)

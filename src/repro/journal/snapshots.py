@@ -49,13 +49,22 @@ def is_quiescent(service) -> bool:
 
 
 def encode_config(config) -> Dict[str, object]:
-    return {
+    payload: Dict[str, object] = {
         "workers": config.workers,
         "max_pump_minutes": config.max_pump_minutes,
         "refresh_analyzer_on_commit": config.refresh_analyzer_on_commit,
         "incremental_analyzer": config.incremental_analyzer,
         "incremental_executor": config.incremental_executor,
     }
+    # Emitted only when a build backend is attached, so serial journals
+    # (including every pre-overlap golden pin) stay byte-identical.  The
+    # concrete backend spec is irrelevant to replay — decisions are
+    # bit-identical across backends — but the overlapped record *tempo*
+    # (epoch records journaled at resolution, not dispatch) is not, so
+    # replay must run with some backend attached.
+    if getattr(config, "build_backend", None) is not None:
+        payload["overlapped"] = True
+    return payload
 
 
 def decode_config(payload: Mapping[str, object]):
@@ -67,6 +76,9 @@ def decode_config(payload: Mapping[str, object]):
         refresh_analyzer_on_commit=payload["refresh_analyzer_on_commit"],
         incremental_analyzer=payload["incremental_analyzer"],
         incremental_executor=payload["incremental_executor"],
+        # Overlapped journals replay through the serial local backend:
+        # same record tempo, no worker processes during recovery.
+        build_backend="local" if payload.get("overlapped") else None,
     )
 
 

@@ -203,6 +203,10 @@ def format_report(trace: TraceData, max_epochs: int = 40) -> str:
         ("build_steps_executed_total", "build steps executed"),
         ("build_steps_cached_total", "build steps cached (eliminated)"),
         ("service_submissions_total", "submissions"),
+        ("service_enqueued_total", "submissions enqueued (overlap)"),
+        ("service_overlap_warm_analyses_total", "analyses warmed in-flight"),
+        ("executor_parallel_dispatched_total", "parallel builds dispatched"),
+        ("executor_parallel_inflight", "parallel builds in flight"),
     ):
         value = _metric_value(trace.metrics, name)
         if value is not None:
@@ -211,6 +215,8 @@ def format_report(trace: TraceData, max_epochs: int = 40) -> str:
         ("service_turnaround_minutes", "turnaround"),
         ("planner_build_duration_minutes", "build duration"),
         ("speculation_build_value", "selected build value"),
+        ("executor_parallel_worker_busy_seconds", "worker busy (wall s)"),
+        ("executor_parallel_batch_seconds", "batch wall (s)"),
     ):
         summary = _histogram_summary(trace.metrics, name)
         if summary is not None:

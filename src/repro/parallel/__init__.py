@@ -1,0 +1,83 @@
+"""Process-parallel speculation builds (ROADMAP item: multi-core scale-out).
+
+Backend selection lives in exactly one place — :func:`create_build_backend`
+— mirroring the AutoQueueBackend pattern: callers name a *spec* string,
+never a concrete class, and everything upstream of the backend seam
+(`BuildExecutor`, `WorkerPool`, the planner) stays backend-agnostic.
+
+Specs:
+
+``"local"``
+    Inline serial execution — the correctness oracle.
+``"process"`` / ``"process:N"``
+    A ``ProcessPoolExecutor`` with ``os.cpu_count()`` (or ``N``) workers.
+``"auto"``
+    ``process`` when the machine has more than one core, else ``local``.
+
+This package is imported lazily: the serial service path never touches
+it (enforced by a dep-hygiene test and a CI check), so selecting no
+backend costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ParallelExecutionError
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.parallel.backend import (
+    BuildBackend,
+    LocalBuildBackend,
+    ProcessBuildBackend,
+)
+from repro.parallel.payload import BuildRequest, BuildResponse, StepRecord
+from repro.parallel.worker import execute_request
+
+__all__ = [
+    "BuildBackend",
+    "BuildRequest",
+    "BuildResponse",
+    "LocalBuildBackend",
+    "ParallelExecutionError",
+    "ProcessBuildBackend",
+    "StepRecord",
+    "create_build_backend",
+    "execute_request",
+]
+
+
+def create_build_backend(
+    spec: str = "auto",
+    *,
+    workers: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> BuildBackend:
+    """The canonical backend factory — the only component that knows the
+    concrete backend classes.
+
+    ``workers`` overrides the worker count for process backends (a
+    ``process:N`` suffix in the spec wins over the keyword).
+    """
+    name, _, suffix = (spec or "auto").partition(":")
+    name = name.strip().lower()
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ParallelExecutionError(
+                f"malformed backend spec {spec!r}: worker count must be an integer"
+            )
+    if name == "auto":
+        cores = os.cpu_count() or 1
+        name = "process" if cores > 1 else "local"
+        if workers is None:
+            workers = cores
+    if name == "local":
+        return LocalBuildBackend(recorder=recorder)
+    if name == "process":
+        count = workers if workers is not None else (os.cpu_count() or 1)
+        return ProcessBuildBackend(count, recorder=recorder)
+    raise ParallelExecutionError(
+        f"unknown build backend {spec!r} (expected auto, local, or process[:N])"
+    )

@@ -1,0 +1,86 @@
+"""Picklable build-request/response payloads for process dispatch.
+
+A :class:`BuildRequest` carries everything a worker process needs to
+execute one speculative build hermetically: the base head (and its
+snapshot, so an anonymous pool worker that has never seen that head can
+root a :class:`~repro.buildsys.executor.BuildContext` for it), the
+assumed stack's patches in merge order, and the subject change's patch.
+A :class:`BuildResponse` carries the *raw* step outcomes back — target,
+step kind, Algorithm-1 digest, pass/fail, log — deliberately without any
+cache provenance: whether a step counts as executed or eliminated is
+decided by the parent when it replays the response through its own
+:class:`~repro.buildsys.cache.ArtifactCache` in selection order, which is
+what keeps parallel execution bit-identical to the serial oracle.
+
+Everything here must survive ``pickle`` round-trips with no loss: only
+plain data, frozen dataclasses, and the already-picklable
+:class:`~repro.vcs.patch.Patch` value objects — never lambdas, bound
+methods, or closures (see ``tests/test_parallel_pickle.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.types import ChangeId, CommitId, Path, StepKind, TargetName
+from repro.vcs.patch import Patch
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One speculative build, serialized for a worker process.
+
+    ``build_id`` correlates the response inside one batch; ``assumed``
+    lists the speculated-on changes' patches in merge order (sorted
+    change id, matching the serial controller).  ``step_wall_seconds``
+    models the real wall-clock cost of one executed build step (the
+    compile/test subprocess a production worker would actually run);
+    zero — the default — makes execution purely synthetic.
+    """
+
+    build_id: int
+    change_id: ChangeId
+    base_commit_id: CommitId
+    base_snapshot: Dict[Path, str]
+    assumed: Tuple[Tuple[ChangeId, Patch], ...]
+    patch: Patch
+    step_wall_seconds: float = 0.0
+
+    def label(self) -> str:
+        parts = [cid for cid, _ in self.assumed] + [self.change_id]
+        return "B[" + ".".join(parts) + "]"
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One raw step outcome: identity, digest, verdict — no provenance."""
+
+    target: TargetName
+    kind: StepKind
+    digest: str
+    passed: bool
+    log: str = ""
+
+
+@dataclass(frozen=True)
+class BuildResponse:
+    """What a worker did for one request.
+
+    ``targets`` and ``steps`` preserve the build order (steps grouped by
+    target, truncated at the first failure exactly as the serial
+    stop-on-failure path truncates).  ``wall_seconds`` is the worker-side
+    wall clock for the whole request — context derivation, step
+    evaluation, and the synthetic per-step wall cost.  ``error`` carries
+    a worker-side crash as data so the parent can fail loudly with
+    context instead of unpickling a traceback.
+    """
+
+    build_id: int
+    change_id: ChangeId
+    targets: Tuple[TargetName, ...] = ()
+    steps: Tuple[StepRecord, ...] = ()
+    merge_conflict: Optional[str] = None
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+    error: Optional[str] = None

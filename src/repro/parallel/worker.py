@@ -1,0 +1,178 @@
+"""Worker-process side of parallel speculation builds.
+
+:func:`execute_request` is the single entrypoint a pool worker runs.  It
+is deliberately a *top-level function over picklable data* — process
+dispatch pickles ``(fn, request)``, so nothing here may be a lambda, a
+bound method, or a closure.
+
+Workers are **stateless step executors**: each request is evaluated
+hermetically against its own merged snapshot, every step in the affected
+delta is walked (truncated at the first failure, mirroring the serial
+stop-on-failure path), and the raw outcomes go back to the parent.  No
+artifact-cache state crosses requests in a worker — step elimination is
+applied exactly once, deterministically, when the parent replays the
+response through its own :class:`~repro.buildsys.cache.ArtifactCache` in
+selection order.  What workers *do* keep between requests is pure,
+outcome-neutral CPU state: memoized :class:`BuildContext` roots per base
+head and derived speculation-prefix contexts, the same O(delta)
+machinery the serial controller uses (contexts are value holders; step
+results are functions of the merged snapshot alone, so cache warmth can
+never change an outcome — only how fast it is computed).
+
+``step_wall_seconds`` models the real wall cost of one hermetic step
+(the compile/test subprocess a production CI worker would spawn) as a
+sleep.  Sleeps release the GIL and overlap perfectly across processes,
+which is what the throughput benchmark measures.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.buildsys.executor import BuildContext
+from repro.buildsys.steps import evaluate_step
+from repro.errors import PatchConflictError
+from repro.parallel.payload import BuildRequest, BuildResponse, StepRecord
+from repro.types import CommitId
+
+#: Memoized root contexts per base head (mirrors the serial controller's
+#: ``BASE_CONTEXT_CAPACITY``).
+_BASE_CAPACITY = 4
+#: Memoized speculation-prefix contexts, keyed ``(base, frozenset(ids))``.
+_PREFIX_CAPACITY = 128
+
+_base_contexts: "OrderedDict[CommitId, BuildContext]" = OrderedDict()
+_prefix_contexts: "OrderedDict[Tuple[CommitId, FrozenSet[str]], BuildContext]" = (
+    OrderedDict()
+)
+
+
+def reset_worker_state() -> None:
+    """Drop all memoized contexts (test isolation; never required)."""
+    _base_contexts.clear()
+    _prefix_contexts.clear()
+
+
+def _remember(cache: OrderedDict, key, value, capacity: int) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > capacity:
+        cache.popitem(last=False)
+
+
+def _base_context(request: BuildRequest) -> BuildContext:
+    context = _base_contexts.get(request.base_commit_id)
+    if context is None:
+        context = BuildContext.load(request.base_snapshot)
+        _remember(_base_contexts, request.base_commit_id, context, _BASE_CAPACITY)
+    else:
+        _base_contexts.move_to_end(request.base_commit_id)
+    return context
+
+
+def _merged_context(request: BuildRequest, base: BuildContext) -> BuildContext:
+    """Fold the assumed patches, then the change's own patch, onto the base.
+
+    Fold order matches the serial controller's ``_prefix_context``:
+    ``request.assumed`` arrives pre-sorted by change id, and every
+    intermediate prefix is memoized so sibling and child speculations in
+    later requests resume from it.  Raises
+    :class:`~repro.errors.PatchConflictError` exactly where the serial
+    merge would.
+    """
+    head = request.base_commit_id
+    ids = [cid for cid, _ in request.assumed]
+    context = base
+    start = 0
+    for length in range(len(ids), 0, -1):
+        cached = _prefix_contexts.get((head, frozenset(ids[:length])))
+        if cached is not None:
+            _prefix_contexts.move_to_end((head, frozenset(ids[:length])))
+            context, start = cached, length
+            break
+    for position in range(start, len(ids)):
+        patch = request.assumed[position][1]
+        context = context.derive(patch.apply(context.snapshot), patch.paths)
+        _remember(
+            _prefix_contexts,
+            (head, frozenset(ids[: position + 1])),
+            context,
+            _PREFIX_CAPACITY,
+        )
+    stack = (head, frozenset(ids) | {request.change_id})
+    merged = _prefix_contexts.get(stack)
+    if merged is None:
+        merged = context.derive(
+            request.patch.apply(context.snapshot), request.patch.paths
+        )
+        _remember(_prefix_contexts, stack, merged, _PREFIX_CAPACITY)
+    else:
+        _prefix_contexts.move_to_end(stack)
+    return merged
+
+
+def execute_request(request: BuildRequest) -> BuildResponse:
+    """Run one speculative build hermetically; never raises.
+
+    Any exception other than a merge conflict is returned as
+    ``BuildResponse.error`` so the parent can fail with context instead
+    of a half-unpicklable traceback from the pool.
+    """
+    started = time.perf_counter()
+    try:
+        base = _base_context(request)
+        try:
+            merged = _merged_context(request, base)
+        except PatchConflictError as exc:
+            return BuildResponse(
+                build_id=request.build_id,
+                change_id=request.change_id,
+                merge_conflict=str(exc),
+                wall_seconds=time.perf_counter() - started,
+                worker_pid=os.getpid(),
+            )
+        order = merged.affected_against(base)
+        targets: List[str] = []
+        steps: List[StepRecord] = []
+        failed = False
+        for name in order:
+            target = merged.graph.target(name)
+            digest = merged.hashes[name]
+            targets.append(name)
+            for kind in target.steps:
+                result = evaluate_step(merged.graph, target, kind, merged.snapshot)
+                steps.append(
+                    StepRecord(
+                        target=name,
+                        kind=kind,
+                        digest=digest,
+                        passed=result.passed,
+                        log=result.log,
+                    )
+                )
+                if not result.passed:
+                    failed = True
+                    break
+            if failed:
+                break
+        if request.step_wall_seconds > 0.0 and steps:
+            time.sleep(request.step_wall_seconds * len(steps))
+        return BuildResponse(
+            build_id=request.build_id,
+            change_id=request.change_id,
+            targets=tuple(targets),
+            steps=tuple(steps),
+            wall_seconds=time.perf_counter() - started,
+            worker_pid=os.getpid(),
+        )
+    except Exception as exc:  # pragma: no cover - defensive: crash as data
+        return BuildResponse(
+            build_id=request.build_id,
+            change_id=request.change_id,
+            wall_seconds=time.perf_counter() - started,
+            worker_pid=os.getpid(),
+            error=f"{type(exc).__name__}: {exc}",
+        )

@@ -1,0 +1,127 @@
+"""The parallel-throughput cell: one figure-12-shaped workload, any backend.
+
+Shared by the CLI demo (``python -m repro parallel``), the wall-clock
+benchmark (``benchmarks/test_parallel_throughput.py``), and the oracle
+tests: mint the workload *once* with :func:`mint_cell`, then drive
+identical copies of it through :func:`run_cell` under different backends
+and compare wall clocks — the state fingerprints must match exactly.
+
+Change ids come from a process-global counter, so mirrored runs must
+share one minted change list (deep-copied per run; ``Change`` is
+mutable) over private copies of one snapshot — exactly what the two
+functions provide.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.changes.change import Change
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+#: The figure-12 monorepo shape (the throughput-evaluation workload).
+FIGURE12_SPEC = MonorepoSpec(layers=(8, 12, 16, 12, 8), fan_in=2)
+
+
+def mint_cell(
+    seed: int = 23,
+    count: int = 16,
+    spec: MonorepoSpec = FIGURE12_SPEC,
+    stride: int = 3,
+) -> Tuple[Dict[str, str], List[Change]]:
+    """One workload: the base snapshot plus ``count`` clean changes.
+
+    Returns ``(files, changes)``; every :func:`run_cell` over them sees
+    the identical inputs.
+    """
+    synth = SyntheticMonorepo(spec, seed=seed)
+    targets = synth.target_names()
+    changes = [
+        synth.make_clean_change(
+            target_name=targets[(stride * index) % len(targets)],
+            submitted_at=0.0,
+        )
+        for index in range(count)
+    ]
+    return synth.repo.snapshot().to_dict(), changes
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One backend's run over the minted cell."""
+
+    backend: str
+    wall_seconds: float
+    fingerprint: str
+    decisions: Tuple[Tuple[str, bool, float], ...]
+    builds_started: int
+    steps_executed: int
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for _, committed, _ in self.decisions if committed)
+
+
+def run_cell(
+    files: Dict[str, str],
+    changes: List[Change],
+    backend: Optional[str] = None,
+    parallel_workers: Optional[int] = None,
+    service_workers: int = 8,
+    step_wall_seconds: float = 0.0,
+    recorder: Recorder = NULL_RECORDER,
+) -> CellResult:
+    """Submit every change, pump to a decision, time the whole cell.
+
+    ``step_wall_seconds`` models the real compile/test subprocess each
+    executed step would spawn; with it at zero the cell measures pure
+    orchestration overhead instead of build-phase wall clock.
+    """
+    from repro.predictor.predictors import StaticPredictor
+    from repro.service.core import CoreService, CoreServiceConfig
+    from repro.strategies.submitqueue import SubmitQueueStrategy
+    from repro.vcs.repository import Repository
+
+    service = CoreService(
+        Repository(dict(files)),
+        SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.05)),
+        config=CoreServiceConfig(
+            workers=service_workers,
+            build_backend=backend,
+            parallel_workers=parallel_workers,
+            step_wall_seconds=step_wall_seconds,
+        ),
+        recorder=recorder,
+    )
+    batch = copy.deepcopy(changes)
+    started = time.perf_counter()
+    for change in batch:
+        service.submit(change)
+    decisions = service.pump()
+    wall = time.perf_counter() - started
+
+    from repro.journal.fingerprint import fingerprint_digest
+
+    fingerprint = fingerprint_digest(service)
+    stats = service.planner.stats
+    label = backend or "serial"
+    if backend == "process" or (backend or "").startswith("process:"):
+        workers = parallel_workers
+        if workers is None and service.backend is not None:
+            workers = service.backend.worker_count
+        label = f"process:{workers}"
+    service.close()
+    return CellResult(
+        backend=label,
+        wall_seconds=wall,
+        fingerprint=fingerprint,
+        decisions=tuple(
+            (d.change_id, d.committed, d.at) for d in decisions
+        ),
+        builds_started=stats.builds_started,
+        steps_executed=stats.steps_executed,
+    )

@@ -24,10 +24,11 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.buildsys.cache import ArtifactCache
-from repro.buildsys.executor import BuildContext, BuildExecutor
+from repro.buildsys.executor import BuildContext, BuildExecutor, BuildReport
+from repro.buildsys.steps import StepResult, StepSpec
 from repro.changes.change import Change
 from repro.changes.truth import stack_outcome
-from repro.errors import PatchConflictError
+from repro.errors import ParallelExecutionError, PatchConflictError
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.types import BuildKey, ChangeId, CommitId, TargetName
 from repro.vcs.patch import Patch, squash
@@ -61,6 +62,18 @@ class BuildController(abc.ABC):
         ``changes_by_id`` must contain the build's change and every change
         in its assumed set.
         """
+
+    def execute_batch(
+        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+    ) -> List[BuildExecution]:
+        """Execute one epoch's selected builds, results in selection order.
+
+        The default runs each build serially through :meth:`execute`;
+        controllers with a parallel backend attached override this to fan
+        the batch out while still *returning* in selection order — the
+        planner's deterministic quiescent point.
+        """
+        return [self.execute(key, changes_by_id) for key in keys]
 
 
 class LabelBuildController(BuildController):
@@ -209,6 +222,18 @@ class FullStackBuildController(BuildController):
         self._prefix_cache: "OrderedDict[Tuple[CommitId, FrozenSet[ChangeId]], BuildContext]" = (
             OrderedDict()
         )
+        # Parallel-backend seam (see repro.parallel): None means every
+        # build runs inline through execute() — the serial oracle.
+        self._backend = None
+        #: Outcome-neutral callable the backend invokes while waiting on
+        #: in-flight worker results (the service's overlap hook).
+        self.idle_hook = None
+        #: Synthetic wall cost per hermetic step, forwarded to workers.
+        self.step_wall_seconds = 0.0
+        self._base_snapshot_memo: Optional[Tuple[CommitId, Dict]] = None
+        #: Batches shipped to the backend but not yet merged back, in
+        #: dispatch order: ``(backend token, keys)``.
+        self._pending_dispatches: List[Tuple[object, List[BuildKey]]] = []
 
     def refresh_base(self) -> None:
         """Re-pin the merge base to the current mainline HEAD.
@@ -353,7 +378,194 @@ class FullStackBuildController(BuildController):
             self._prefix_put((base, frozenset(ids[: position + 1])), context)
         return context
 
+    # -- parallel backend seam ----------------------------------------------
+
+    def attach_backend(
+        self,
+        backend,
+        idle_hook=None,
+        step_wall_seconds: float = 0.0,
+    ) -> None:
+        """Fan future batches out through ``backend`` (a
+        :class:`repro.parallel.backend.BuildBackend`).
+
+        ``idle_hook`` runs while the backend waits on in-flight builds and
+        must be outcome-neutral.  ``step_wall_seconds`` is the synthetic
+        wall cost per hermetic step forwarded to workers.
+        """
+        self._backend = backend
+        self.idle_hook = idle_hook
+        self.step_wall_seconds = step_wall_seconds
+
+    def detach_backend(self):
+        """Back to inline execution; returns the detached backend."""
+        if self._pending_dispatches:
+            raise ParallelExecutionError(
+                "cannot detach a backend with unresolved dispatched batches"
+            )
+        backend, self._backend = self._backend, None
+        self.idle_hook = None
+        return backend
+
+    @property
+    def backend(self):
+        return self._backend
+
+    def _request_snapshot(self) -> Dict:
+        """The base head's snapshot as a plain (picklable) dict, memoized
+        per head — requests for one epoch all share the same object, and
+        fork-started workers share it copy-on-write."""
+        memo = self._base_snapshot_memo
+        if memo is not None and memo[0] == self.base_commit_id:
+            return memo[1]
+        context = self._base_context()
+        snapshot = context.snapshot
+        materialized = (
+            snapshot.to_dict() if hasattr(snapshot, "to_dict") else dict(snapshot)
+        )
+        self._base_snapshot_memo = (self.base_commit_id, materialized)
+        return materialized
+
+    def _build_request(
+        self, build_id: int, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
+    ):
+        from repro.parallel.payload import BuildRequest
+
+        change = changes_by_id[key.change_id]
+        assumed = [changes_by_id[cid] for cid in sorted(key.assumed)]
+        for other in assumed + [change]:
+            if other.patch is None:
+                raise ValueError(f"change {other.change_id} carries no patch")
+        return BuildRequest(
+            build_id=build_id,
+            change_id=key.change_id,
+            base_commit_id=self.base_commit_id,
+            base_snapshot=self._request_snapshot(),
+            assumed=tuple((other.change_id, other.patch) for other in assumed),
+            patch=change.patch,
+            step_wall_seconds=self.step_wall_seconds,
+        )
+
+    def _merge_response(self, key: BuildKey, response) -> BuildExecution:
+        """Fold one worker response back into the parent — the quiescent
+        point where determinism is re-established.
+
+        Workers return *raw* step outcomes; replaying them here, in
+        selection order, through the parent's own artifact cache decides
+        canonically which steps count as executed vs. eliminated.  Step
+        outcomes are pure functions of the merged snapshot, so the
+        reconstructed report (and thus duration, counters, and every
+        downstream decision) is bit-identical to what the serial oracle
+        computes.
+        """
+        if response is None or response.error is not None:
+            reason = "no response" if response is None else response.error
+            raise ParallelExecutionError(
+                f"worker failed for {key.label()}: {reason}"
+            )
+        if response.merge_conflict is not None:
+            return BuildExecution(
+                key=key,
+                success=False,
+                duration=self.step_minutes,
+                failure_reason=f"merge conflict: {response.merge_conflict}",
+            )
+        cache = self.executor.cache
+        report = BuildReport()
+        report.targets_built.extend(response.targets)
+        for step in response.steps:
+            result = cache.get(step.digest, step.kind)
+            if result is None:
+                result = StepResult(
+                    StepSpec(step.target, step.kind), step.passed, step.log
+                )
+                cache.put(step.digest, step.kind, result)
+            report.append(result)
+        self.executor.record_report(report)
+        return self._execution_from_report(key, report)
+
+    def dispatch_batch(
+        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+    ) -> None:
+        """Start one epoch's builds on the backend without waiting.
+
+        The overlapped half of the seam: requests are serialized against
+        the *current* base head (no mainline commit can land between a
+        dispatch and its resolution — resolutions happen before the event
+        loop pops anything) and shipped to the backend.  The matching
+        :meth:`resolve_dispatches` call merges the responses later, in
+        dispatch order, at the pump loop's next quiescent point.
+        """
+        if self._backend is None or not self.incremental:
+            raise ParallelExecutionError(
+                "dispatch_batch needs an attached backend and incremental mode"
+            )
+        requests = [
+            self._build_request(position, key, changes_by_id)
+            for position, key in enumerate(keys)
+        ]
+        token = self._backend.submit_batch(requests)
+        self._pending_dispatches.append((token, list(keys)))
+
+    def has_pending_dispatches(self) -> bool:
+        return bool(self._pending_dispatches)
+
+    def resolve_dispatches(
+        self,
+    ) -> List[List[Tuple[BuildKey, BuildExecution]]]:
+        """Wait for every dispatched batch and merge it, in dispatch order.
+
+        Merging in dispatch order (and, within a batch, selection order)
+        makes the parent's artifact/prefix caches evolve exactly as the
+        inline serial path would have — the property the bit-identity
+        oracle tests pin.
+        """
+        pending, self._pending_dispatches = self._pending_dispatches, []
+        resolved: List[List[Tuple[BuildKey, BuildExecution]]] = []
+        for token, keys in pending:
+            responses = self._backend.collect(token, idle_hook=self.idle_hook)
+            if len(responses) != len(keys):
+                raise ParallelExecutionError(
+                    f"backend returned {len(responses)} responses "
+                    f"for {len(keys)} requests"
+                )
+            resolved.append(
+                [
+                    (key, self._merge_response(key, response))
+                    for key, response in zip(keys, responses)
+                ]
+            )
+        return resolved
+
     # -- execution ----------------------------------------------------------
+
+    def execute_batch(
+        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+    ) -> List[BuildExecution]:
+        """One epoch's builds — fanned out when a backend is attached.
+
+        Requests are dispatched together; responses come back in request
+        order (the backend contract) and merge sequentially, so the
+        parent's cache and prefix state evolve exactly as if the batch
+        had run inline.  Without a backend (or in from-scratch reference
+        mode) this is the plain serial loop.
+        """
+        if self._backend is None or not self.incremental:
+            return [self.execute(key, changes_by_id) for key in keys]
+        requests = [
+            self._build_request(position, key, changes_by_id)
+            for position, key in enumerate(keys)
+        ]
+        responses = self._backend.run_batch(requests, idle_hook=self.idle_hook)
+        if len(responses) != len(requests):
+            raise ParallelExecutionError(
+                f"backend returned {len(responses)} responses "
+                f"for {len(requests)} requests"
+            )
+        return [
+            self._merge_response(key, response)
+            for key, response in zip(keys, responses)
+        ]
 
     def execute(
         self, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]

@@ -33,10 +33,17 @@ from repro.types import BuildKey, ChangeId, ChangeState
 
 @dataclass(frozen=True)
 class ScheduledBuild:
-    """A build the planner just started; the simulator times it."""
+    """A build the planner just started; the simulator times it.
+
+    ``duration`` is ``None`` while the build is *dispatched but not yet
+    resolved* — the overlapped path hands the work to a build backend at
+    plan time and learns the duration at the next quiescent point
+    (:meth:`PlannerEngine.resolve_pending`); the simulator must not
+    schedule a completion event until then.
+    """
 
     key: BuildKey
-    duration: float
+    duration: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -51,10 +58,15 @@ class Decision:
 
 @dataclass
 class BuildRecord:
-    """Planner-side bookkeeping for one build key."""
+    """Planner-side bookkeeping for one build key.
+
+    ``execution`` is ``None`` between an overlapped dispatch and its
+    resolution; completions can only fire after resolution (the event is
+    scheduled then), so every consumer of the outcome sees it filled.
+    """
 
     key: BuildKey
-    execution: BuildExecution
+    execution: Optional[BuildExecution]
     started_at: float
     completed_at: Optional[float] = None
     aborted: bool = False
@@ -295,6 +307,10 @@ class PlannerEngine:
         #: full plan() — every later state mutation (submit, complete,
         #: reorder) perturbs at least one component relative to it.
         self._last_plan_fingerprint: Optional[tuple] = None
+        #: Overlapped-dispatch bookkeeping: one entry per batch handed to
+        #: the controller's backend and not yet resolved, in dispatch
+        #: order — ``{"keys": [...], "at": dispatch clock}``.
+        self._pending_resolution: List[Dict[str, object]] = []
 
     # -- submission ---------------------------------------------------------
 
@@ -452,7 +468,10 @@ class PlannerEngine:
                 continue
             if self.preemption_grace > 0.0:
                 record = self.builds.get(key)
-                if record is not None:
+                # Unresolved dispatches have no duration yet; they were
+                # dispatched at the current instant, so "nearly done"
+                # can never apply — fall through to the abort.
+                if record is not None and record.execution is not None:
                     remaining = (
                         record.started_at + record.execution.duration - now
                     )
@@ -544,9 +563,47 @@ class PlannerEngine:
         """
         if not keys:
             return []
-        executions = [
-            self.controller.execute(key, self.all_changes) for key in keys
+        # Overlapped path: a controller with a backend attached takes the
+        # batch asynchronously — executions (and durations) arrive at the
+        # next quiescent point via resolve_pending().  Everything the
+        # *selection* depends on (worker occupancy, running set, stats
+        # the strategies read) is updated now, identically to the inline
+        # path, so decisions cannot diverge.
+        if (
+            getattr(self.controller, "backend", None) is not None
+            and getattr(self.controller, "incremental", False)
+        ):
+            self.controller.dispatch_batch(keys, self.all_changes)
+            self._assign_workers(keys, now)
+            scheduled = [self._register_dispatch(key, now) for key in keys]
+            self._pending_resolution.append(
+                {
+                    "keys": list(keys),
+                    # The records minted above: resolution must only time
+                    # a completion for a dispatch that is still current
+                    # (not aborted, not superseded by a re-dispatch).
+                    "records": [self.builds[key] for key in keys],
+                    "at": now,
+                }
+            )
+            return scheduled
+        # Inline path: controllers that can fan a whole batch out expose
+        # execute_batch; plain stubs may only have execute.  Either way
+        # the executions come back in selection order.
+        execute_batch = getattr(self.controller, "execute_batch", None)
+        if execute_batch is not None:
+            executions = execute_batch(keys, self.all_changes)
+        else:
+            executions = [
+                self.controller.execute(key, self.all_changes) for key in keys
+            ]
+        self._assign_workers(keys, now)
+        return [
+            self._register_start(key, execution, now)
+            for key, execution in zip(keys, executions)
         ]
+
+    def _assign_workers(self, keys: List[BuildKey], now: float) -> None:
         for key in self.workers.assignment_order(keys):
             estimate = self.workers.estimate(key.change_id)
             self.workers.assign(key, now)
@@ -556,10 +613,6 @@ class PlannerEngine:
                 else:
                     self._metrics.assignments_warm.inc()
                     self._metrics.assignment_estimate.observe(estimate)
-        return [
-            self._register_start(key, execution, now)
-            for key, execution in zip(keys, executions)
-        ]
 
     def _register_start(
         self, key: BuildKey, execution: BuildExecution, now: float
@@ -590,6 +643,86 @@ class PlannerEngine:
                 self._metrics.steps_executed.inc(execution.steps_executed)
                 self._metrics.steps_cached.inc(execution.steps_cached)
         return ScheduledBuild(key=key, duration=execution.duration)
+
+    def _register_dispatch(self, key: BuildKey, now: float) -> ScheduledBuild:
+        """Dispatch-time half of :meth:`_register_start` (overlapped path).
+
+        Everything the next ``plan()`` can read is updated here — the
+        build record, per-change counters, ``builds_started`` — while the
+        execution-derived pieces (step counters, duration) wait for
+        :meth:`resolve_pending`.
+        """
+        if key not in self.builds:
+            self._builds_by_change.setdefault(key.change_id, []).append(key)
+        build = BuildRecord(key=key, execution=None, started_at=now)
+        self.builds[key] = build
+        record = self.records.get(key.change_id)
+        if record is not None:
+            record.builds_scheduled += 1
+        self.stats.builds_started += 1
+        if self.recorder.enabled:
+            build.span = self.recorder.start_span(
+                "build",
+                category="build",
+                track=f"change:{key.change_id}",
+                at=now,
+                parent=self._epoch_span,
+                key=key.label() if hasattr(key, "label") else str(key),
+                change_id=key.change_id,
+                assumed=len(key.assumed),
+            )
+            self._metrics.builds_started.inc()
+        return ScheduledBuild(key=key, duration=None)
+
+    def has_pending_builds(self) -> bool:
+        """Are there dispatched batches awaiting resolution?"""
+        return bool(self._pending_resolution)
+
+    def resolve_pending(self) -> List["ResolvedBatch"]:
+        """Merge every dispatched batch back in — the quiescent point.
+
+        Called by the event loop before it pops anything, so the clock
+        has not moved since the dispatches: completion events computed
+        from ``batch.at + duration`` land exactly where the inline path
+        would have put them, and the artifact-cache merges replay in
+        dispatch order — decisions stay bit-identical to the serial
+        oracle.
+        """
+        if not self._pending_resolution:
+            return []
+        infos, self._pending_resolution = self._pending_resolution, []
+        merged = self.controller.resolve_dispatches()
+        batches: List[ResolvedBatch] = []
+        for info, results in zip(infos, merged):
+            executions: List[BuildExecution] = []
+            live: List[ScheduledBuild] = []
+            for record, (key, execution) in zip(info["records"], results):
+                record.execution = execution
+                self.stats.steps_executed += execution.steps_executed
+                self.stats.steps_cached += execution.steps_cached
+                if self.recorder.enabled and (
+                    execution.steps_executed or execution.steps_cached
+                ):
+                    self._metrics.steps_executed.inc(execution.steps_executed)
+                    self._metrics.steps_cached.inc(execution.steps_cached)
+                executions.append(execution)
+                # Time a completion only for dispatches that are still
+                # current: aborted or re-dispatched keys were merged for
+                # their cache effects (the inline path executed them
+                # too) but must not produce a (duplicate) event.
+                if not record.aborted and self.builds.get(key) is record:
+                    live.append(
+                        ScheduledBuild(key=key, duration=execution.duration)
+                    )
+            batches.append(
+                ResolvedBatch(
+                    at=info["at"],
+                    keys=list(info["keys"]),
+                    executions=executions,
+                    live=live,
+                )
+            )
+        return batches
 
     def _abort(self, key: BuildKey, now: float) -> None:
         # completed=False keeps the partial interval out of the worker
@@ -775,3 +908,18 @@ class PlanResult:
 
     started: List[ScheduledBuild]
     aborted: List[BuildKey]
+
+
+@dataclass(frozen=True)
+class ResolvedBatch:
+    """One dispatched batch after resolution (overlapped path).
+
+    ``keys``/``executions`` cover the whole batch in selection order
+    (for journaling); ``live`` holds only the builds that still need a
+    completion event timed at ``at + duration``.
+    """
+
+    at: float
+    keys: List[BuildKey]
+    executions: List[BuildExecution]
+    live: List[ScheduledBuild]

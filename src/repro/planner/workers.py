@@ -82,6 +82,19 @@ class WorkerPool:
         """EWMA of the change's completed build durations, or ``None``."""
         return self._duration_ewma.get(change_id)
 
+    def duration_history(self) -> "OrderedDict[ChangeId, float]":
+        """A copy of the per-change EWMA history, in LRU order.
+
+        The history is *backend-shared by construction*: builds executed
+        in worker processes report raw step outcomes, the parent merges
+        them into canonical durations at the batch quiescent point, and
+        :meth:`release` feeds those durations here exactly as it does for
+        inline builds.  No backend observes durations into a private
+        pool — this accessor exists so tests (and operators) can assert
+        that parity instead of trusting it.
+        """
+        return OrderedDict(self._duration_ewma)
+
     def observe_duration(self, change_id: ChangeId, minutes: float) -> None:
         """Feed one completed build's duration into the change's EWMA."""
         previous = self._duration_ewma.get(change_id)

@@ -56,6 +56,39 @@ class CoreServiceConfig:
     #: :meth:`CoreService.attach_journal` (the config object may be the
     #: shared default instance and must never be mutated).
     journal: Optional[JournalSink] = None
+    #: Build-backend spec for ``repro.parallel.create_build_backend``
+    #: ("auto", "local", "process", "process:N").  ``None`` — the default
+    #: — keeps builds inline and never imports ``repro.parallel``.
+    #: Decisions are bit-identical across backends; what the journal must
+    #: preserve is only the overlapped *record tempo* (epoch records are
+    #: emitted at resolution, not dispatch), so the spec itself is not
+    #: journaled — snapshots carry a single ``overlapped`` flag and
+    #: recovery replays overlapped runs through the serial local backend.
+    build_backend: Optional[str] = None
+    #: Worker-process count for process backends (``None``: backend default).
+    parallel_workers: Optional[int] = None
+    #: While the backend waits on in-flight builds, warm conflict-analyzer
+    #: state for queued submissions (outcome-neutral overlap).
+    overlap_analysis: bool = True
+    #: Synthetic wall-clock cost per executed build step, forwarded to
+    #: backend workers (models the real compile/test subprocess; 0 keeps
+    #: execution purely synthetic).  Wall-clock only — never influences
+    #: simulated durations or decisions.
+    step_wall_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class _QueuedSubmission:
+    """Event payload for a submission scheduled onto the pump loop.
+
+    Queued submissions are *not* durable: the journal records a
+    submission when it fires (as an ordinary ``submit`` record at its
+    fire time), so a crash between ``enqueue`` and the pump loses only
+    submissions the service never accepted — the same contract a
+    production front-end queue has.
+    """
+
+    change: Change
 
 
 class CoreService:
@@ -110,7 +143,34 @@ class CoreService:
         recorder.bind_clock(lambda: self.clock.now)
         self._events = EventQueue()
         self._completion_handles: Dict[BuildKey, EventHandle] = {}
+        self._submission_handles: List[EventHandle] = []
+        #: Journal payloads for dispatched-but-unresolved epochs, emitted
+        #: by _resolve_builds in dispatch order (overlapped path only).
+        self._deferred_journal: List[Dict[str, object]] = []
+        self._warmed_analyses: Set[str] = set()
         self._head_at_analyzer = repo.head()
+        self._backend = None
+        if config.build_backend is not None:
+            attach = getattr(self.controller, "attach_backend", None)
+            if attach is not None:
+                # Lazy import — the single place the service touches
+                # repro.parallel, so the serial path never loads it.
+                from repro.parallel import create_build_backend
+
+                self._backend = create_build_backend(
+                    config.build_backend,
+                    workers=config.parallel_workers,
+                    recorder=recorder,
+                )
+                attach(
+                    self._backend,
+                    idle_hook=(
+                        self._warm_pending_analysis
+                        if config.overlap_analysis
+                        else None
+                    ),
+                    step_wall_seconds=config.step_wall_seconds,
+                )
         self._journal = config.journal if config.journal is not None else NULL_JOURNAL
         if self._journal.enabled:
             from repro.journal.snapshots import (
@@ -201,6 +261,80 @@ class CoreService:
             self._store_mirror.on_submit(change, self.clock.now)
         self._replan()
 
+    def enqueue(self, change: Change, at: Optional[float] = None) -> None:
+        """Schedule a submission to arrive at service time ``at``.
+
+        The overlapped ingestion path: the submission becomes an event on
+        the pump loop (``at`` in the past clamps to *now*), interleaving
+        with build completions in time order, and is accepted — journaled,
+        planned — only when the loop reaches it.  Until then the backend's
+        idle hook may warm conflict analyses for it; both are
+        outcome-neutral, so decisions match a driver that calls
+        :meth:`submit` at the same instants.
+        """
+        when = self.clock.now if at is None else max(at, self.clock.now)
+        handle = self._events.push(when, _QueuedSubmission(change))
+        self._submission_handles.append(handle)
+        if self.recorder.enabled:
+            self.recorder.counter(
+                "service_enqueued_total",
+                "Submissions scheduled onto the pump loop.",
+            ).inc()
+
+    def queued_submissions(self) -> List[Change]:
+        """Scheduled-but-not-yet-accepted submissions, in fire order."""
+        live = [
+            (handle.time, handle.seq, handle.payload.change)
+            for handle in self._submission_handles
+            if not handle.cancelled
+        ]
+        live.sort(key=lambda item: (item[0], item[1]))
+        return [change for _, _, change in live]
+
+    def _warm_pending_analysis(self) -> None:
+        """Backend idle hook: warm one queued change's conflict analysis.
+
+        Outcome-neutral by construction — per-change analyses are pure
+        functions of ``(change, head snapshot)``, cached inside the
+        analyzer, and excluded from state fingerprints; computing one
+        early changes *when* work happens, never what is decided.
+        """
+        for handle in self._submission_handles:
+            if handle.cancelled:
+                continue
+            change = handle.payload.change
+            if change.change_id in self._warmed_analyses:
+                continue
+            self._warmed_analyses.add(change.change_id)
+            self._maybe_refresh_analyzer()
+            self._analyzer.analyze(change)
+            if self.recorder.enabled:
+                self.recorder.counter(
+                    "service_overlap_warm_analyses_total",
+                    "Conflict analyses warmed while builds were in flight.",
+                ).inc()
+            return
+
+    @property
+    def backend(self):
+        """The attached build backend, or ``None`` on the serial path."""
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent.
+
+        Anything still dispatched resolves first so the service is left
+        at a quiescent point (pump() always drains, so this only does
+        work when a caller closes between a submit and its pump).
+        """
+        if self._backend is not None:
+            self._resolve_builds()
+            detach = getattr(self.controller, "detach_backend", None)
+            if detach is not None:
+                detach()
+            self._backend.close()
+            self._backend = None
+
     def pump(self) -> List[Decision]:
         """Advance time until every submitted change is decided."""
         pump_span = None
@@ -244,6 +378,10 @@ class CoreService:
         the build completion) before applying it, so a crash mid-step
         re-drives the step from the journal.
         """
+        # Quiescent point: anything dispatched to a backend since the
+        # last step resolves now, before the loop pops (or times) the
+        # next event — its completions may be the earliest events there are.
+        self._resolve_builds()
         handle = self._events.pop()
         if handle is None:
             # No events but changes pending: replan (the stall guard in
@@ -251,12 +389,22 @@ class CoreService:
             if self._journal.enabled:
                 self._journal.append(journal_records.stall_record(self.clock.now))
             self._replan()
+            self._resolve_builds()
             if not self._events:
                 raise SimulationError("core service stalled with pending changes")
             return []
         self.clock.advance_to(handle.time)
         if guard is not None and self.clock.now > guard:
             raise SimulationError("pump exceeded max_pump_minutes")
+        if isinstance(handle.payload, _QueuedSubmission):
+            # A scheduled submission reached its fire time: accept it
+            # exactly as an interactive submit() at this instant would be
+            # — journaled first, then planned — so replay re-drives it
+            # from the journal's submit record.
+            self._submission_handles.remove(handle)
+            self._warmed_analyses.discard(handle.payload.change.change_id)
+            self.submit(handle.payload.change)
+            return []
         key = handle.payload
         self._completion_handles.pop(key, None)
         if self._journal.enabled:
@@ -298,32 +446,90 @@ class CoreService:
 
     def _replan(self) -> None:
         result = self.planner.plan(self.clock.now)
+        # Overlapped dispatches carry no duration yet; their epoch /
+        # build-start / worker records are journaled at resolution (in
+        # dispatch order, with the resolved durations) by
+        # _resolve_builds.  A plan that only aborts journals inline.
+        deferred = any(s.duration is None for s in result.started)
         if self._journal.enabled and (result.started or result.aborted):
-            self._journal.append(
-                journal_records.epoch_record(
-                    self.clock.now,
-                    [scheduled.key for scheduled in result.started],
-                    list(result.aborted),
+            if deferred:
+                workers = self.planner.workers
+                self._deferred_journal.append(
+                    {
+                        "at": self.clock.now,
+                        "keys": [s.key for s in result.started],
+                        "aborted": list(result.aborted),
+                        "busy": workers.busy,
+                        "capacity": workers.capacity,
+                    }
                 )
-            )
-            for scheduled in result.started:
+            else:
                 self._journal.append(
-                    journal_records.build_start_record(
-                        self.clock.now, scheduled.key, scheduled.duration
+                    journal_records.epoch_record(
+                        self.clock.now,
+                        [scheduled.key for scheduled in result.started],
+                        list(result.aborted),
                     )
                 )
-            workers = self.planner.workers
-            self._journal.append(
-                journal_records.worker_record(
-                    self.clock.now, workers.busy, workers.capacity
+                for scheduled in result.started:
+                    self._journal.append(
+                        journal_records.build_start_record(
+                            self.clock.now, scheduled.key, scheduled.duration
+                        )
+                    )
+                workers = self.planner.workers
+                self._journal.append(
+                    journal_records.worker_record(
+                        self.clock.now, workers.busy, workers.capacity
+                    )
                 )
-            )
         for key in result.aborted:
             pending = self._completion_handles.pop(key, None)
             if pending is not None:
                 self._events.cancel(pending)
         for scheduled in result.started:
+            if scheduled.duration is None:
+                continue  # timed at resolution
             handle = self._events.push(
                 self.clock.now + scheduled.duration, scheduled.key
             )
             self._completion_handles[scheduled.key] = handle
+
+    def _resolve_builds(self) -> None:
+        """Merge dispatched builds back in before the loop pops anything.
+
+        The deterministic quiescent point of the overlapped pump: every
+        batch the backend holds is resolved in dispatch order, its
+        deferred journal records are emitted (timestamped at the dispatch
+        instant, which the clock has not left), and its completion events
+        are timed exactly where the inline path would have put them.
+        """
+        planner = self.planner
+        if not planner.has_pending_builds():
+            return
+        infos, self._deferred_journal = self._deferred_journal, []
+        batches = planner.resolve_pending()
+        for index, batch in enumerate(batches):
+            if self._journal.enabled and index < len(infos):
+                info = infos[index]
+                self._journal.append(
+                    journal_records.epoch_record(
+                        info["at"], list(info["keys"]), list(info["aborted"])
+                    )
+                )
+                for key, execution in zip(batch.keys, batch.executions):
+                    self._journal.append(
+                        journal_records.build_start_record(
+                            info["at"], key, execution.duration
+                        )
+                    )
+                self._journal.append(
+                    journal_records.worker_record(
+                        info["at"], info["busy"], info["capacity"]
+                    )
+                )
+            for scheduled in batch.live:
+                handle = self._events.push(
+                    batch.at + scheduled.duration, scheduled.key
+                )
+                self._completion_handles[scheduled.key] = handle

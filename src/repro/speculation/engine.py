@@ -230,6 +230,15 @@ class _SelectionMetrics:
 _ChangeInputs = Tuple[int, int, Tuple[ChangeId, ...], Tuple[Optional[bool], ...]]
 
 
+def unit_benefit(change) -> float:
+    """The default benefit function: every change is worth 1.0.
+
+    A named top-level function (not a lambda) so engine configurations
+    remain picklable for process dispatch.
+    """
+    return 1.0
+
+
 class SpeculationEngine:
     """Selects the most valuable speculative builds under a budget."""
 
@@ -241,7 +250,7 @@ class SpeculationEngine:
         recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self._predictor = predictor
-        self._benefit = benefit if benefit is not None else (lambda change: 1.0)
+        self._benefit = benefit if benefit is not None else unit_benefit
         self._min_value = min_value
         self._recorder = recorder
         self._metrics: Optional[_SelectionMetrics] = None
