@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fold benchmarks/results/BENCH_*.json into BENCH_summary.json.
+
+Each benchmark suite overwrites its own ``BENCH_<suite>.json`` snapshot;
+this script appends those snapshots — keyed by the current commit — to
+the cumulative per-metric series in ``BENCH_summary.json``, the file
+``python -m repro obs bench`` renders as a trajectory with regression
+deltas.  Re-running on the same commit replaces that commit's entry
+(idempotent), so CI can run it unconditionally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/aggregate.py
+    PYTHONPATH=src python benchmarks/aggregate.py --results-dir path/to/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.bench import (  # noqa: E402 (path bootstrap above)
+    SUMMARY_NAME,
+    collect_results,
+    fold_results,
+    git_short_sha,
+    load_summary,
+    write_summary,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=os.path.join(os.path.dirname(__file__), "results"),
+        help="directory holding BENCH_*.json datapoint files",
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        help="series key for this fold (default: git short sha)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"summary path (default: <results-dir>/{SUMMARY_NAME})",
+    )
+    args = parser.parse_args(argv)
+
+    results = collect_results(args.results_dir)
+    if not results:
+        print(f"no BENCH_*.json datapoints under {args.results_dir}", file=sys.stderr)
+        return 1
+    output = args.output or os.path.join(args.results_dir, SUMMARY_NAME)
+    commit = args.commit or git_short_sha(os.path.dirname(os.path.abspath(__file__)))
+    summary = fold_results(results, summary=load_summary(output), commit=commit)
+    write_summary(output, summary)
+    points = sum(len(s) for s in summary["series"].values())
+    print(
+        f"folded {sum(len(k) for k in results.values())} kernels from "
+        f"{len(results)} suites into {output} "
+        f"({len(summary['series'])} series, {points} points, commit {commit})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

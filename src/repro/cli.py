@@ -9,7 +9,12 @@ Commands:
 * ``obs``        — inspect recorded runs: ``report`` renders a JSONL
   trace as an epoch-by-epoch text report, ``trace`` converts it to
   Chrome ``trace_event`` JSON (load in Perfetto / chrome://tracing),
-  ``validate`` checks it against the trace schema;
+  ``validate`` checks it against the trace schema, ``bench`` renders
+  the benchmark trajectory from ``BENCH_summary.json`` with
+  direction-aware regression deltas;
+* ``serve``      — the HTTP observability service: boot a simulated (or
+  journal-replayed) SubmitQueue and expose ``/healthz``, ``/metrics``,
+  ``/state``, ``/slo``, ``/trace`` plus the ApiHandlers surface;
 * ``journal``    — durable event journals: ``inspect`` summarizes one,
   ``verify`` checks framing/schema (``--replay`` re-runs the log through
   the service and diffs every emitted record), ``recover`` restores a
@@ -84,6 +89,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check a JSONL trace against the schema"
     )
     validate.add_argument("trace", help="path to a .jsonl trace file")
+    bench = obs_sub.add_parser(
+        "bench", help="render the benchmark trajectory with regression deltas"
+    )
+    bench.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory holding BENCH_*.json and BENCH_summary.json",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative move that counts as a regression (default 10%%)",
+    )
+    bench.add_argument(
+        "--fold", action="store_true",
+        help="fold the current BENCH_*.json datapoints into the summary "
+             "first (same as running benchmarks/aggregate.py)",
+    )
+    bench.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any direction-aware series regressed",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="HTTP observability service over a live SubmitQueue"
+    )
+    serve.add_argument(
+        "--workload", default="quickstart",
+        help="'quickstart' (simulated figure-12 cell) or 'journal:DIR' "
+             "(replay a journal directory into a served service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port (0 picks a free one; the bound URL is printed)",
+    )
+    serve.add_argument("--changes", type=int, default=24)
+    serve.add_argument("--drafts", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument(
+        "--backend", default="process:2",
+        help="build-backend spec for the quickstart workload "
+             "('none' keeps builds inline)",
+    )
+    serve.add_argument(
+        "--step-wall-ms", type=float, default=2.0,
+        help="synthetic wall cost per executed build step (milliseconds); "
+             "gives the spliced worker spans real extent",
+    )
+    serve.add_argument(
+        "--slo-window", type=float, default=60.0,
+        help="rolling /slo window in simulated minutes",
+    )
+    serve.add_argument(
+        "--trace", metavar="PREFIX", default=None,
+        help="at shutdown write PREFIX.jsonl, PREFIX.trace.json and "
+             "PREFIX.prom",
+    )
 
     journal = sub.add_parser("journal", help="durable event journals")
     journal_sub = journal.add_subparsers(dest="journal_command", required=True)
@@ -178,6 +240,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             return 1
         print(f"{args.trace}: valid")
         return 0
+    if args.obs_command == "bench":
+        return _cmd_obs_bench(args)
     trace = load_trace(args.trace)
     if args.obs_command == "report":
         print(format_report(trace, max_epochs=args.max_epochs))
@@ -190,6 +254,98 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(payload)
+    return 0
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.bench import (
+        SUMMARY_NAME,
+        collect_results,
+        fold_results,
+        git_short_sha,
+        load_summary,
+        render_trajectory,
+        trajectory_deltas,
+        write_summary,
+    )
+
+    summary_path = os.path.join(args.results_dir, SUMMARY_NAME)
+    summary = load_summary(summary_path)
+    if args.fold or summary is None:
+        results = collect_results(args.results_dir)
+        if not results and summary is None:
+            print(
+                f"no BENCH_*.json datapoints under {args.results_dir}",
+                file=sys.stderr,
+            )
+            return 1
+        if results:
+            summary = fold_results(
+                results, summary=summary, commit=git_short_sha(args.results_dir)
+            )
+            write_summary(summary_path, summary)
+            print(f"folded current datapoints into {summary_path}")
+    print(render_trajectory(summary, threshold=args.threshold))
+    if args.fail_on_regression:
+        regressed = [
+            d for d in trajectory_deltas(summary, threshold=args.threshold)
+            if d["verdict"] == "regression"
+        ]
+        return 1 if regressed else 0
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import Recorder
+    from repro.serve import (
+        ObservabilityServer,
+        build_journal_service,
+        build_quickstart_service,
+    )
+
+    recorder = Recorder()
+    if args.workload == "quickstart":
+        backend = None if args.backend in ("none", "") else args.backend
+        core, handlers = build_quickstart_service(
+            changes=args.changes,
+            drafts=args.drafts,
+            seed=args.seed,
+            workers=args.workers,
+            backend=backend,
+            step_wall_seconds=args.step_wall_ms / 1000.0,
+            recorder=recorder,
+        )
+    elif args.workload.startswith("journal:"):
+        core, handlers = build_journal_service(
+            args.workload[len("journal:"):], recorder=recorder
+        )
+    else:
+        print(
+            f"unknown workload {args.workload!r} "
+            "(expected 'quickstart' or 'journal:DIR')",
+            file=sys.stderr,
+        )
+        return 2
+    server = ObservabilityServer(
+        core,
+        handlers=handlers,
+        host=args.host,
+        port=args.port,
+        slo_window_minutes=args.slo_window,
+    )
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        core.close()
+        if args.trace:
+            for path in _write_trace_outputs(recorder, args.trace):
+                print(f"wrote {path}")
     return 0
 
 
@@ -449,6 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "journal": _cmd_journal,
         "parallel": _cmd_parallel,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -11,6 +11,11 @@ perf/fault-injection roadmap items build on):
 * :class:`~repro.obs.recorder.Recorder` — the injectable bundle of both;
   :data:`~repro.obs.recorder.NULL_RECORDER` is the zero-cost default;
 * :mod:`repro.obs.schema` — the JSONL trace schema and validator;
+* :mod:`repro.obs.slo` — rolling-window SLO aggregation (turnaround
+  percentiles, speculation hit rate, worker utilization) for the HTTP
+  observability service (imported lazily: it needs numpy);
+* :mod:`repro.obs.bench` — benchmark-trajectory folding for
+  ``BENCH_summary.json`` and the ``obs bench`` report;
 * :mod:`repro.obs.inspect` — the ``obs report``/``obs trace`` CLI
   machinery.
 

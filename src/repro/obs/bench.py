@@ -1,0 +1,237 @@
+"""Benchmark-trajectory folding: the repo's perf-budget signal.
+
+Every benchmark suite drops a ``BENCH_<suite>.json`` datapoint file
+(``{"kernels": {name: {metric: value, ...}}, ...}``) into
+``benchmarks/results/``.  Those files are snapshots — each CI run
+overwrites them, so regressions are invisible without history.  This
+module folds them into one cumulative ``BENCH_summary.json``: a series
+per ``suite/kernel/metric`` keyed by commit, appended on every
+``benchmarks/aggregate.py`` run and rendered (with direction-aware
+regression deltas) by ``python -m repro obs bench``.
+
+Stdlib only — the renderer borrows :func:`repro.metrics.ascii_plot.sparkline`
+for the trend glyphs.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import subprocess
+from typing import Dict, List, Optional, Tuple
+
+#: Schema stamp for BENCH_summary.json.
+SUMMARY_VERSION = 1
+
+#: The summary's own filename (excluded from datapoint collection).
+SUMMARY_NAME = "BENCH_summary.json"
+
+#: Non-numeric / identity fields that are not perf metrics.
+_SKIP_METRICS = {"monorepo_layers"}
+
+#: Relative change beyond which a move counts as a regression/improvement.
+DEFAULT_THRESHOLD = 0.10
+
+
+def git_short_sha(repo_dir: Optional[str] = None) -> str:
+    """The working tree's short commit sha, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def collect_results(results_dir: str) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Read every ``BENCH_*.json`` datapoint file in ``results_dir``.
+
+    Returns ``{suite: {kernel: {metric: value}}}`` with only numeric
+    metrics kept (identity fields like fingerprints and platform stamps
+    are not perf series).  Unreadable files are skipped, not fatal — a
+    partial CI run should still fold what it produced.
+    """
+    suites: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        if name == SUMMARY_NAME:
+            continue
+        suite = name[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        kernels = payload.get("kernels")
+        if not isinstance(kernels, dict):
+            continue
+        folded: Dict[str, Dict[str, float]] = {}
+        for kernel, metrics in kernels.items():
+            if not isinstance(metrics, dict):
+                continue
+            numeric = {
+                metric: float(value)
+                for metric, value in metrics.items()
+                if metric not in _SKIP_METRICS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            if numeric:
+                folded[kernel] = numeric
+        if folded:
+            suites[suite] = folded
+    return suites
+
+
+def fold_results(
+    results: Dict[str, Dict[str, Dict[str, float]]],
+    summary: Optional[Dict[str, object]] = None,
+    commit: str = "unknown",
+) -> Dict[str, object]:
+    """Append one commit's datapoints to a (possibly empty) summary.
+
+    Series are keyed ``suite/kernel/metric``; re-folding the same commit
+    replaces its entry in place (idempotent CI re-runs) while every other
+    commit's history is preserved, so the summary is a trajectory across
+    PRs, not a snapshot.
+    """
+    if summary is None or not isinstance(summary.get("series"), dict):
+        summary = {"version": SUMMARY_VERSION, "series": {}}
+    series: Dict[str, List[Dict[str, object]]] = summary["series"]  # type: ignore[assignment]
+    summary["version"] = SUMMARY_VERSION
+    summary["last_commit"] = commit
+    for suite, kernels in sorted(results.items()):
+        for kernel, metrics in sorted(kernels.items()):
+            for metric, value in sorted(metrics.items()):
+                key = f"{suite}/{kernel}/{metric}"
+                points = [
+                    point
+                    for point in series.get(key, [])
+                    if point.get("commit") != commit
+                ]
+                points.append({"commit": commit, "value": value})
+                series[key] = points
+    return summary
+
+
+def load_summary(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_summary(path: str, summary: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def metric_direction(metric: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 unknown.
+
+    Wall/latency measurements regress upward; throughput-ish ratios
+    (speedups, rates, hit rates) regress downward; counters with no
+    inherent direction (builds started, targets rehashed) stay neutral
+    so the report never cries wolf over workload-shape changes.
+    """
+    lowered = metric.lower()
+    if lowered.endswith("seconds") or lowered.endswith("_ms") or "wall" in lowered:
+        return -1
+    for marker in ("speedup", "per_sec", "per_hour", "hit_rate", "throughput"):
+        if marker in lowered:
+            return +1
+    return 0
+
+
+def trajectory_deltas(
+    summary: Dict[str, object], threshold: float = DEFAULT_THRESHOLD
+) -> List[Dict[str, object]]:
+    """Last-step movement of every series, flagged by direction.
+
+    Each entry: ``{series, commits, previous, latest, delta_ratio,
+    direction, verdict}`` where ``verdict`` is ``"regression"``,
+    ``"improvement"``, or ``"steady"`` (neutral-direction metrics and
+    single-point series are always steady).
+    """
+    deltas: List[Dict[str, object]] = []
+    series = summary.get("series")
+    if not isinstance(series, dict):
+        return deltas
+    for key in sorted(series):
+        points = series[key]
+        if not isinstance(points, list) or not points:
+            continue
+        latest = float(points[-1]["value"])
+        entry: Dict[str, object] = {
+            "series": key,
+            "commits": [point.get("commit") for point in points],
+            "latest": latest,
+            "previous": None,
+            "delta_ratio": 0.0,
+            "direction": metric_direction(key.rsplit("/", 1)[-1]),
+            "verdict": "steady",
+        }
+        if len(points) >= 2:
+            previous = float(points[-2]["value"])
+            entry["previous"] = previous
+            if previous != 0.0:
+                ratio = (latest - previous) / abs(previous)
+                entry["delta_ratio"] = ratio
+                direction = entry["direction"]
+                if direction and abs(ratio) >= threshold:
+                    worse = ratio > 0 if direction < 0 else ratio < 0
+                    entry["verdict"] = "regression" if worse else "improvement"
+        deltas.append(entry)
+    return deltas
+
+
+def render_trajectory(
+    summary: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    width: int = 24,
+) -> str:
+    """The ``obs bench`` report: one line per series, regressions flagged."""
+    from repro.metrics.ascii_plot import sparkline
+
+    deltas = trajectory_deltas(summary, threshold=threshold)
+    if not deltas:
+        return "no benchmark series folded yet (run benchmarks/aggregate.py)"
+    series: Dict[str, List[Dict[str, object]]] = summary["series"]  # type: ignore[assignment]
+    name_width = min(56, max(len(d["series"]) for d in deltas))
+    lines = [
+        f"benchmark trajectory — {len(deltas)} series, "
+        f"last commit {summary.get('last_commit', 'unknown')}",
+    ]
+    flagged: List[Tuple[str, str]] = []
+    for delta in deltas:
+        key = delta["series"]
+        values = [float(p["value"]) for p in series[key]]
+        spark = sparkline(values, width=width)
+        ratio = float(delta["delta_ratio"])
+        marker = {"regression": "REGRESSION", "improvement": "improved"}.get(
+            str(delta["verdict"]), ""
+        )
+        move = f"{ratio:+.1%}" if delta["previous"] is not None else "new"
+        lines.append(
+            f"  {key:<{name_width}}  {spark:<{width}}  "
+            f"{float(delta['latest']):.4g} ({move}) {marker}".rstrip()
+        )
+        if marker == "REGRESSION":
+            flagged.append((str(key), move))
+    if flagged:
+        lines.append("")
+        lines.append(f"{len(flagged)} regression(s) beyond {threshold:.0%}:")
+        lines.extend(f"  {key}: {move}" for key, move in flagged)
+    else:
+        lines.append("")
+        lines.append(f"no regressions beyond {threshold:.0%}")
+    return "\n".join(lines)

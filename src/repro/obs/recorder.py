@@ -34,12 +34,18 @@ class Recorder:
         clock: Optional[Callable[[], float]] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = tracer if tracer is not None else SpanTracer(clock)
+        self.tracer = (
+            tracer if tracer is not None else SpanTracer(clock, wall_clock)
+        )
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self.tracer.bind_clock(clock)
+
+    def bind_wall_clock(self, wall_clock: Optional[Callable[[], float]]) -> None:
+        self.tracer.bind_wall_clock(wall_clock)
 
     # -- metrics passthrough -------------------------------------------------
 
@@ -62,6 +68,9 @@ class Recorder:
 
     def finish_span(self, span: Span, **kwargs) -> Span:
         return self.tracer.finish(span, **kwargs)
+
+    def splice_span(self, name: str, start: float, end: float, **kwargs) -> Span:
+        return self.tracer.splice(name, start, end, **kwargs)
 
     def event(self, name: str, **kwargs):
         return self.tracer.event(name, **kwargs)
@@ -143,6 +152,9 @@ class NullRecorder(Recorder):
     def bind_clock(self, clock) -> None:
         pass
 
+    def bind_wall_clock(self, wall_clock) -> None:
+        pass
+
     def counter(self, name: str, help: str = "", labels=None):
         return _NULL_METRIC
 
@@ -161,6 +173,9 @@ class NullRecorder(Recorder):
 
     def finish_span(self, span: Span, **kwargs) -> Span:
         return span
+
+    def splice_span(self, name: str, start: float, end: float, **kwargs) -> Span:
+        return _NULL_SPAN
 
     def event(self, name: str, **kwargs):
         return None

@@ -10,7 +10,9 @@ Record shapes (version 1)::
     {"type": "meta", "version": 1, "clock": "simulated-minutes"}
 
     {"type": "span", "id": int, "name": str, "cat": str, "track": str,
-     "start": float, "end": float, "parent": int | null, "attrs": {...}}
+     "start": float, "end": float, "parent": int | null, "attrs": {...},
+     # optional wall-clock capture (epoch seconds; both present or neither):
+     "wall_start": float, "wall_end": float, "wall_track": str}
 
     {"type": "event", "id": int, "name": str, "cat": str, "track": str,
      "at": float, "span": int | null, "attrs": {...}}
@@ -92,6 +94,30 @@ def validate_records(records: Iterable[Dict[str, object]]) -> List[str]:
                 )
             if not isinstance(record.get("attrs"), dict):
                 errors.append(f"{where}: span attrs must be an object")
+            has_wall_start = "wall_start" in record
+            has_wall_end = "wall_end" in record
+            if has_wall_start != has_wall_end:
+                errors.append(
+                    f"{where}: span wall_start/wall_end must appear together"
+                )
+            elif has_wall_start:
+                if not _is_number(record["wall_start"]) or not _is_number(
+                    record["wall_end"]
+                ):
+                    errors.append(
+                        f"{where}: span wall_start/wall_end must be numbers"
+                    )
+                elif float(record["wall_end"]) < float(record["wall_start"]):
+                    errors.append(
+                        f"{where}: span {span_id} wall_end precedes wall_start"
+                    )
+            if "wall_track" in record:
+                if not has_wall_start:
+                    errors.append(
+                        f"{where}: span wall_track requires wall timestamps"
+                    )
+                if not isinstance(record["wall_track"], str):
+                    errors.append(f"{where}: span wall_track must be a string")
             span_ids[span_id] = start
             parent = record.get("parent")
             if parent is not None and not isinstance(parent, int):

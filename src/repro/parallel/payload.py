@@ -37,6 +37,13 @@ class BuildRequest:
     models the real wall-clock cost of one executed build step (the
     compile/test subprocess a production worker would actually run);
     zero — the default — makes execution purely synthetic.
+
+    ``trace_id`` and ``parent_span_id`` carry the parent's trace context
+    across the process boundary: a non-empty ``trace_id`` asks the
+    worker to capture per-step wall-clock spans and ship them back in
+    ``BuildResponse.step_spans``; the parent splices them under span
+    ``parent_span_id`` at resolution.  Empty (the default) keeps the
+    worker's fast path span-free.
     """
 
     build_id: int
@@ -46,6 +53,8 @@ class BuildRequest:
     assumed: Tuple[Tuple[ChangeId, Patch], ...]
     patch: Patch
     step_wall_seconds: float = 0.0
+    trace_id: str = ""
+    parent_span_id: int = 0
 
     def label(self) -> str:
         parts = [cid for cid, _ in self.assumed] + [self.change_id]
@@ -64,6 +73,26 @@ class StepRecord:
 
 
 @dataclass(frozen=True)
+class WorkerSpan:
+    """One wall-clock span a worker captured while executing a request.
+
+    Offsets are seconds relative to the request's ``wall_started`` epoch
+    timestamp, so the parent can place the span on a shared wall-clock
+    timeline (and map it into simulated time proportionally).  ``kind``
+    is the span flavour (``"merge"``, ``"step"``); ``target`` and
+    ``step`` identify the build step for ``"step"`` spans and stay empty
+    otherwise.
+    """
+
+    name: str
+    kind: str
+    wall_offset: float
+    wall_duration: float
+    target: TargetName = ""
+    step: str = ""
+
+
+@dataclass(frozen=True)
 class BuildResponse:
     """What a worker did for one request.
 
@@ -74,6 +103,10 @@ class BuildResponse:
     evaluation, and the synthetic per-step wall cost.  ``error`` carries
     a worker-side crash as data so the parent can fail loudly with
     context instead of unpickling a traceback.
+
+    ``wall_started`` (epoch seconds) plus ``step_spans`` reconstruct the
+    worker-side timeline when the request carried a ``trace_id``; both
+    stay empty on untraced requests so the payload cost is zero.
     """
 
     build_id: int
@@ -84,3 +117,5 @@ class BuildResponse:
     wall_seconds: float = 0.0
     worker_pid: int = 0
     error: Optional[str] = None
+    wall_started: float = 0.0
+    step_spans: Tuple[WorkerSpan, ...] = ()

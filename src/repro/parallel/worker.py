@@ -35,7 +35,7 @@ from typing import Dict, FrozenSet, List, Tuple
 from repro.buildsys.executor import BuildContext
 from repro.buildsys.steps import evaluate_step
 from repro.errors import PatchConflictError
-from repro.parallel.payload import BuildRequest, BuildResponse, StepRecord
+from repro.parallel.payload import BuildRequest, BuildResponse, StepRecord, WorkerSpan
 from repro.types import CommitId
 
 #: Memoized root contexts per base head (mirrors the serial controller's
@@ -122,18 +122,41 @@ def execute_request(request: BuildRequest) -> BuildResponse:
     of a half-unpicklable traceback from the pool.
     """
     started = time.perf_counter()
+    wall_started = time.time()
+    tracing = bool(request.trace_id)
+    spans: List[WorkerSpan] = []
+
+    def _span(name: str, kind: str, begin: float, target: str = "", step: str = "") -> None:
+        if tracing:
+            end = time.perf_counter() - started
+            spans.append(
+                WorkerSpan(
+                    name=name,
+                    kind=kind,
+                    wall_offset=begin,
+                    wall_duration=max(0.0, end - begin),
+                    target=target,
+                    step=step,
+                )
+            )
+
     try:
+        merge_begin = time.perf_counter() - started
         base = _base_context(request)
         try:
             merged = _merged_context(request, base)
         except PatchConflictError as exc:
+            _span("merge", "merge", merge_begin)
             return BuildResponse(
                 build_id=request.build_id,
                 change_id=request.change_id,
                 merge_conflict=str(exc),
                 wall_seconds=time.perf_counter() - started,
                 worker_pid=os.getpid(),
+                wall_started=wall_started if tracing else 0.0,
+                step_spans=tuple(spans),
             )
+        _span("merge", "merge", merge_begin)
         order = merged.affected_against(base)
         targets: List[str] = []
         steps: List[StepRecord] = []
@@ -143,6 +166,7 @@ def execute_request(request: BuildRequest) -> BuildResponse:
             digest = merged.hashes[name]
             targets.append(name)
             for kind in target.steps:
+                step_begin = time.perf_counter() - started
                 result = evaluate_step(merged.graph, target, kind, merged.snapshot)
                 steps.append(
                     StepRecord(
@@ -153,13 +177,17 @@ def execute_request(request: BuildRequest) -> BuildResponse:
                         log=result.log,
                     )
                 )
+                # Pay the synthetic wall cost per step (same total as the
+                # old bulk sleep: step_wall_seconds * len(steps)) so each
+                # recorded span covers its own step's wall time.
+                if request.step_wall_seconds > 0.0:
+                    time.sleep(request.step_wall_seconds)
+                _span(f"{name}:{kind.value}", "step", step_begin, name, kind.value)
                 if not result.passed:
                     failed = True
                     break
             if failed:
                 break
-        if request.step_wall_seconds > 0.0 and steps:
-            time.sleep(request.step_wall_seconds * len(steps))
         return BuildResponse(
             build_id=request.build_id,
             change_id=request.change_id,
@@ -167,6 +195,8 @@ def execute_request(request: BuildRequest) -> BuildResponse:
             steps=tuple(steps),
             wall_seconds=time.perf_counter() - started,
             worker_pid=os.getpid(),
+            wall_started=wall_started if tracing else 0.0,
+            step_spans=tuple(spans),
         )
     except Exception as exc:  # pragma: no cover - defensive: crash as data
         return BuildResponse(

@@ -232,8 +232,10 @@ class FullStackBuildController(BuildController):
         self.step_wall_seconds = 0.0
         self._base_snapshot_memo: Optional[Tuple[CommitId, Dict]] = None
         #: Batches shipped to the backend but not yet merged back, in
-        #: dispatch order: ``(backend token, keys)``.
-        self._pending_dispatches: List[Tuple[object, List[BuildKey]]] = []
+        #: dispatch order: ``(backend token, keys, span_ids, sim now)``.
+        self._pending_dispatches: List[
+            Tuple[object, List[BuildKey], List[int], Optional[float]]
+        ] = []
 
     def refresh_base(self) -> None:
         """Re-pin the merge base to the current mainline HEAD.
@@ -427,7 +429,12 @@ class FullStackBuildController(BuildController):
         return materialized
 
     def _build_request(
-        self, build_id: int, key: BuildKey, changes_by_id: Mapping[ChangeId, Change]
+        self,
+        build_id: int,
+        key: BuildKey,
+        changes_by_id: Mapping[ChangeId, Change],
+        trace_id: str = "",
+        parent_span_id: int = 0,
     ):
         from repro.parallel.payload import BuildRequest
 
@@ -444,9 +451,17 @@ class FullStackBuildController(BuildController):
             assumed=tuple((other.change_id, other.patch) for other in assumed),
             patch=change.patch,
             step_wall_seconds=self.step_wall_seconds,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
 
-    def _merge_response(self, key: BuildKey, response) -> BuildExecution:
+    def _merge_response(
+        self,
+        key: BuildKey,
+        response,
+        span_id: int = 0,
+        at: Optional[float] = None,
+    ) -> BuildExecution:
         """Fold one worker response back into the parent — the quiescent
         point where determinism is re-established.
 
@@ -457,6 +472,10 @@ class FullStackBuildController(BuildController):
         reconstructed report (and thus duration, counters, and every
         downstream decision) is bit-identical to what the serial oracle
         computes.
+
+        ``span_id``/``at`` carry the dispatching build span and its sim
+        dispatch time; when set (tracing on), the worker's wall-clock
+        step spans are spliced under that span with dual timestamps.
         """
         if response is None or response.error is not None:
             reason = "no response" if response is None else response.error
@@ -464,12 +483,14 @@ class FullStackBuildController(BuildController):
                 f"worker failed for {key.label()}: {reason}"
             )
         if response.merge_conflict is not None:
-            return BuildExecution(
+            execution = BuildExecution(
                 key=key,
                 success=False,
                 duration=self.step_minutes,
                 failure_reason=f"merge conflict: {response.merge_conflict}",
             )
+            self._splice_worker_spans(key, response, execution, span_id, at)
+            return execution
         cache = self.executor.cache
         report = BuildReport()
         report.targets_built.extend(response.targets)
@@ -482,10 +503,65 @@ class FullStackBuildController(BuildController):
                 cache.put(step.digest, step.kind, result)
             report.append(result)
         self.executor.record_report(report)
-        return self._execution_from_report(key, report)
+        execution = self._execution_from_report(key, report)
+        self._splice_worker_spans(key, response, execution, span_id, at)
+        return execution
+
+    def _splice_worker_spans(
+        self,
+        key: BuildKey,
+        response,
+        execution: BuildExecution,
+        span_id: int,
+        at: Optional[float],
+    ) -> None:
+        """Graft the worker's wall-clock spans into the parent tracer.
+
+        Sim placement is proportional: the build occupies
+        ``[at, at + duration]`` in simulated minutes and the worker's
+        request occupied ``response.wall_seconds`` of real time, so each
+        worker span maps onto the build span by its wall-clock fraction —
+        containment under the dispatching span is preserved by
+        construction.  The raw wall-clock edges ride along (epoch
+        seconds, ``wall_track`` = the worker process) so the Chrome view
+        shows real per-worker-slot occupancy next to simulated time.
+        """
+        if (
+            not self.recorder.enabled
+            or span_id <= 0
+            or at is None
+            or not response.step_spans
+        ):
+            return
+        total_wall = response.wall_seconds
+        scale = execution.duration / total_wall if total_wall > 0.0 else 0.0
+        wall_track = f"worker:pid{response.worker_pid}"
+        for span in response.step_spans:
+            sim_start = at + scale * span.wall_offset
+            sim_end = at + scale * (span.wall_offset + span.wall_duration)
+            wall_start = response.wall_started + span.wall_offset
+            self.recorder.splice_span(
+                span.name,
+                start=sim_start,
+                end=max(sim_end, sim_start),
+                parent_id=span_id,
+                category="worker",
+                track=f"change:{key.change_id}",
+                wall_start=wall_start,
+                wall_end=wall_start + span.wall_duration,
+                wall_track=wall_track,
+                kind=span.kind,
+                target=span.target,
+                step=span.step,
+                worker_pid=response.worker_pid,
+            )
 
     def dispatch_batch(
-        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+        self,
+        keys: Sequence[BuildKey],
+        changes_by_id: Mapping[ChangeId, Change],
+        span_ids: Optional[Sequence[int]] = None,
+        now: Optional[float] = None,
     ) -> None:
         """Start one epoch's builds on the backend without waiting.
 
@@ -495,17 +571,32 @@ class FullStackBuildController(BuildController):
         loop pops anything) and shipped to the backend.  The matching
         :meth:`resolve_dispatches` call merges the responses later, in
         dispatch order, at the pump loop's next quiescent point.
+
+        ``span_ids`` (aligned with ``keys``; 0 = untraced) and ``now``
+        (sim dispatch time) thread the parent's trace context into each
+        request: workers see a non-empty ``trace_id``, capture per-step
+        wall spans, and resolution splices them under the build span.
         """
         if self._backend is None or not self.incremental:
             raise ParallelExecutionError(
                 "dispatch_batch needs an attached backend and incremental mode"
             )
+        ids = list(span_ids) if span_ids is not None else [0] * len(keys)
+        if len(ids) != len(keys):
+            raise ValueError("span_ids must align with keys")
+        tracing = self.recorder.enabled and now is not None
         requests = [
-            self._build_request(position, key, changes_by_id)
-            for position, key in enumerate(keys)
+            self._build_request(
+                position,
+                key,
+                changes_by_id,
+                trace_id=f"dispatch:{span_id}" if tracing and span_id > 0 else "",
+                parent_span_id=span_id if tracing else 0,
+            )
+            for position, (key, span_id) in enumerate(zip(keys, ids))
         ]
         token = self._backend.submit_batch(requests)
-        self._pending_dispatches.append((token, list(keys)))
+        self._pending_dispatches.append((token, list(keys), ids, now))
 
     def has_pending_dispatches(self) -> bool:
         return bool(self._pending_dispatches)
@@ -522,7 +613,7 @@ class FullStackBuildController(BuildController):
         """
         pending, self._pending_dispatches = self._pending_dispatches, []
         resolved: List[List[Tuple[BuildKey, BuildExecution]]] = []
-        for token, keys in pending:
+        for token, keys, span_ids, at in pending:
             responses = self._backend.collect(token, idle_hook=self.idle_hook)
             if len(responses) != len(keys):
                 raise ParallelExecutionError(
@@ -531,8 +622,8 @@ class FullStackBuildController(BuildController):
                 )
             resolved.append(
                 [
-                    (key, self._merge_response(key, response))
-                    for key, response in zip(keys, responses)
+                    (key, self._merge_response(key, response, span_id, at))
+                    for key, response, span_id in zip(keys, responses, span_ids)
                 ]
             )
         return resolved

@@ -573,16 +573,29 @@ class PlannerEngine:
             getattr(self.controller, "backend", None) is not None
             and getattr(self.controller, "incremental", False)
         ):
-            self.controller.dispatch_batch(keys, self.all_changes)
+            # Records (and their tracer spans) are minted *before* the
+            # dispatch so each request can carry its build span's id
+            # across the process boundary; span allocation order matches
+            # the old post-dispatch order (selection order), and
+            # dispatch_batch reads only controller state, so outcomes
+            # and trace shapes are unchanged.
             self._assign_workers(keys, now)
             scheduled = [self._register_dispatch(key, now) for key in keys]
+            records = [self.builds[key] for key in keys]
+            span_ids = [
+                record.span.span_id if record.span is not None else 0
+                for record in records
+            ]
+            self.controller.dispatch_batch(
+                keys, self.all_changes, span_ids=span_ids, now=now
+            )
             self._pending_resolution.append(
                 {
                     "keys": list(keys),
                     # The records minted above: resolution must only time
                     # a completion for a dispatch that is still current
                     # (not aborted, not superseded by a re-dispatch).
-                    "records": [self.builds[key] for key in keys],
+                    "records": records,
                     "at": now,
                 }
             )
@@ -714,6 +727,17 @@ class PlannerEngine:
                     live.append(
                         ScheduledBuild(key=key, duration=execution.duration)
                     )
+                elif self.recorder.enabled and record.span is not None:
+                    # A superseded dispatch (re-dispatched key) never
+                    # reaches complete(); close its span here, at the
+                    # sim time its build would have finished, instead of
+                    # letting finish_open sweep it at export time.
+                    self.recorder.finish_span(
+                        record.span,
+                        at=info["at"] + execution.duration,
+                        superseded=True,
+                    )
+                    record.span = None
             batches.append(
                 ResolvedBatch(
                     at=info["at"],
@@ -880,6 +904,7 @@ class PlannerEngine:
                 at=decision.at,
                 change_id=change_id,
                 verdict=verdict,
+                turnaround=record.turnaround,
             )
         change = self.all_changes[change_id]
         commit_hook = getattr(self.controller, "on_commit", None)

@@ -1,0 +1,316 @@
+"""The HTTP observability service: a live window onto a SubmitQueue.
+
+The production SubmitQueue is operated through a Dropwizard REST service
+with dashboards over greenness and per-change turnaround (section 3,
+figure 3).  This module is the reproduction's equivalent — a stdlib-only
+(:mod:`http.server`) front end that mounts the transport-agnostic
+:class:`~repro.service.handlers.ApiHandlers` dicts and adds the
+read-only operations surface:
+
+* ``GET /healthz``  — liveness plus the headline queue/greenness bits;
+* ``GET /metrics``  — Prometheus text from the obs registry;
+* ``GET /state``    — queue depth, greenness, per-change status;
+* ``GET /slo``      — rolling turnaround p50/p95/p99, speculation hit
+  rate, worker utilization (:mod:`repro.obs.slo`);
+* ``GET /trace``    — Chrome-trace JSON of the live tracer (open spans
+  rendered up to the current sim clock);
+* ``GET /queue``, ``GET /mainline``, ``GET /changes/<id>``,
+  ``POST /changes``, ``POST /process`` — the ApiHandlers surface;
+* ``POST /shutdown`` — stop the server (used by tests and CI smoke).
+
+The HTTP layer is threaded (:class:`ThreadingHTTPServer`) but a single
+lock serializes access to the underlying service: the core service is a
+single-threaded state machine, and serializing at that seam is what
+keeps every read a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.recorder import Recorder
+from repro.service.api import SubmitQueueService
+from repro.service.handlers import ApiHandlers
+
+#: Rolling window the /slo endpoint aggregates over, in simulated minutes.
+DEFAULT_SLO_WINDOW_MINUTES = 60.0
+
+
+class ObservabilityServer:
+    """One HTTP server bound to one live :class:`CoreService`."""
+
+    def __init__(
+        self,
+        core,
+        handlers: Optional[ApiHandlers] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo_window_minutes: float = DEFAULT_SLO_WINDOW_MINUTES,
+    ) -> None:
+        self.core = core
+        self.recorder = core.recorder
+        self.handlers = (
+            handlers
+            if handlers is not None
+            else ApiHandlers(SubmitQueueService(core))
+        )
+        self.slo_window_minutes = slo_window_minutes
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer((host, port), _RequestHandler)
+        self._httpd.context = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` is called."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> None:
+        """Serve from a daemon thread (tests and drivers)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        self._httpd.server_close()
+
+    # -- endpoint payloads ---------------------------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            return 200, {
+                "ok": True,
+                "status": "healthy",
+                "clock_minutes": self.core.clock.now,
+                "pending": self.core.planner.pending_count(),
+                "green": self.core.repo.is_green(),
+                "tracing": bool(self.recorder.enabled),
+            }
+
+    def metrics_text(self) -> Tuple[int, str]:
+        with self._lock:
+            return 200, self.recorder.prometheus_text()
+
+    def state(self) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            queue = self.handlers.handle_queue()
+            mainline = self.handlers.handle_mainline()
+            changes = {
+                change_id: self.handlers.handle_status(
+                    {"change_id": change_id}
+                )["status"]
+                for change_id in sorted(self.core.planner.records)
+            }
+            return 200, {
+                "ok": True,
+                "clock_minutes": self.core.clock.now,
+                "green": mainline["green"],
+                "mainline_commits": self.core.repo.mainline_length(),
+                "queue": {"depth": queue["depth"], "pending": queue["pending"]},
+                "changes": changes,
+            }
+
+    def slo(self) -> Tuple[int, Dict[str, Any]]:
+        if not self.recorder.enabled:
+            return 503, {
+                "ok": False,
+                "error": "no recorder attached; run with tracing enabled",
+            }
+        from repro.obs.slo import SloAggregator  # lazy: pulls in numpy
+
+        with self._lock:
+            aggregator = SloAggregator(
+                self.recorder.tracer,
+                window_minutes=self.slo_window_minutes,
+                worker_capacity=self.core.planner.workers.capacity,
+            )
+            payload = aggregator.snapshot()
+        payload["ok"] = True
+        return 200, payload
+
+    def trace(self) -> Tuple[int, Dict[str, Any]]:
+        if not self.recorder.enabled:
+            return 503, {
+                "ok": False,
+                "error": "no recorder attached; run with tracing enabled",
+            }
+        with self._lock:
+            return 200, self.recorder.tracer.snapshot_chrome_trace()
+
+    def api(self, name: str, request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        handler = getattr(self.handlers, f"handle_{name}")
+        with self._lock:
+            payload = handler(request)
+        return int(payload.get("code", 200)), payload
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Route table over the bound :class:`ObservabilityServer`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def context(self) -> ObservabilityServer:
+        return self.server.context  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep smoke-test output clean; curl shows its own status
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        context = self.context
+        if path == "/healthz":
+            self._send_json(*context.healthz())
+        elif path == "/metrics":
+            code, text = context.metrics_text()
+            self._send_text(code, text, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/state":
+            self._send_json(*context.state())
+        elif path == "/slo":
+            self._send_json(*context.slo())
+        elif path == "/trace":
+            self._send_json(*context.trace())
+        elif path == "/queue":
+            self._send_json(*context.api("queue", {}))
+        elif path == "/mainline":
+            self._send_json(*context.api("mainline", {}))
+        elif path.startswith("/changes/"):
+            change_id = path[len("/changes/"):]
+            self._send_json(*context.api("status", {"change_id": change_id}))
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        context = self.context
+        if path == "/shutdown":
+            self._send_json(200, {"ok": True, "status": "shutting down"})
+            threading.Thread(target=context.shutdown, daemon=True).start()
+            return
+        body = self._read_json_body()
+        if body is None:
+            self._send_json(
+                400, {"ok": False, "error": "malformed JSON body", "code": 400}
+            )
+            return
+        if path == "/changes":
+            self._send_json(*context.api("land", body))
+        elif path == "/process":
+            self._send_json(*context.api("process", body))
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {path}"})
+
+
+# -- workload builders --------------------------------------------------------
+
+
+def build_quickstart_service(
+    changes: int = 24,
+    drafts: int = 4,
+    seed: int = 7,
+    workers: int = 8,
+    backend: Optional[str] = "process:2",
+    step_wall_seconds: float = 0.0,
+    recorder: Optional[Recorder] = None,
+):
+    """A served-ready core service over the figure-12 shaped workload.
+
+    Submits and pumps ``changes`` clean changes (populating the tracer,
+    metrics, and decision history the read endpoints expose), then
+    registers ``drafts`` more as landable drafts so ``POST /changes``
+    has something to land.  Returns ``(core, handlers)``.
+    """
+    from repro.parallel.workload import mint_cell
+    from repro.predictor.predictors import StaticPredictor
+    from repro.service.core import CoreService, CoreServiceConfig
+    from repro.strategies.submitqueue import SubmitQueueStrategy
+    from repro.vcs.repository import Repository
+
+    files, batch = mint_cell(count=changes + drafts, seed=seed)
+    recorder = recorder if recorder is not None else Recorder()
+    core = CoreService(
+        Repository(dict(files)),
+        SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.05)),
+        config=CoreServiceConfig(
+            workers=workers,
+            build_backend=backend,
+            step_wall_seconds=step_wall_seconds,
+        ),
+        recorder=recorder,
+    )
+    for change in batch[:changes]:
+        core.submit(change)
+    core.pump()
+    handlers = ApiHandlers(SubmitQueueService(core))
+    for change in batch[changes:]:
+        handlers.register_draft(change)
+    return core, handlers
+
+
+def build_journal_service(journal_dir: str, recorder: Optional[Recorder] = None):
+    """Replay a journal into a served-ready core service.
+
+    Recovery runs in verification mode (``attach=False``): the on-disk
+    journal is left untouched and the recovered, fully replayed service
+    — tracer and metrics populated by the replay itself — is what the
+    endpoints expose.  Returns ``(core, handlers)``.
+    """
+    from repro.journal.recovery import recover
+
+    recorder = recorder if recorder is not None else Recorder()
+    report = recover(journal_dir, recorder=recorder, attach=False)
+    core = report.service
+    return core, ApiHandlers(SubmitQueueService(core))

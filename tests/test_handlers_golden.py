@@ -1,0 +1,227 @@
+"""Golden request/response dicts for every `ApiHandlers` handler.
+
+The handlers are the transport-agnostic JSON surface `repro.serve`
+mounts; these tests pin the exact response dicts — success shapes, the
+unknown-change and malformed-payload error paths, and the 500 wrapper —
+so any accidental change to the wire contract shows up as a golden diff.
+Change ids come from a process-global counter and are interpolated; every
+other field (including simulated timestamps) is a pinned literal.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.predictor.predictors import StaticPredictor
+from repro.service.api import SubmitQueueService
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.service.handlers import ApiHandlers
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+
+@pytest.fixture
+def setup():
+    monorepo = SyntheticMonorepo(MonorepoSpec(layers=(2, 3), fan_in=2), seed=13)
+    service = SubmitQueueService(
+        CoreService(
+            repo=monorepo.repo,
+            strategy=SubmitQueueStrategy(StaticPredictor(0.9, 0.1)),
+            config=CoreServiceConfig(workers=2),
+        )
+    )
+    return monorepo, ApiHandlers(service)
+
+
+class TestLandGolden:
+    def test_land_and_wait_committed(self, setup):
+        monorepo, handlers = setup
+        change = monorepo.make_clean_change()
+        handlers.register_draft(change)
+        response = handlers.handle_land(
+            {"change_id": change.change_id, "wait": True}
+        )
+        assert response == {
+            "ok": True,
+            "code": 200,
+            "status": {
+                "change_id": change.change_id,
+                "state": "committed",
+                "reason": "decisive build passed",
+                "enqueued_at": 0.0,
+                "decided_at": 2.0,
+                "turnaround_minutes": 2.0,
+                "speculations": {"succeeded": 1, "failed": 0},
+                "builds": {"scheduled": 1, "aborted": 0},
+            },
+        }
+
+    def test_land_without_wait_stays_pending(self, setup):
+        monorepo, handlers = setup
+        change = monorepo.make_clean_change()
+        handlers.register_draft(change)
+        response = handlers.handle_land({"change_id": change.change_id})
+        assert response == {
+            "ok": True,
+            "code": 200,
+            "status": {
+                "change_id": change.change_id,
+                "state": "pending",
+                "reason": "",
+                "enqueued_at": 0.0,
+                "decided_at": None,
+                "turnaround_minutes": None,
+                "speculations": {"succeeded": 0, "failed": 0},
+                "builds": {"scheduled": 1, "aborted": 0},
+            },
+        }
+
+    def test_broken_change_rejected(self, setup):
+        monorepo, handlers = setup
+        broken = monorepo.make_broken_change()
+        handlers.register_draft(broken)
+        response = handlers.handle_land(
+            {"change_id": broken.change_id, "wait": True}
+        )
+        assert response == {
+            "ok": True,
+            "code": 200,
+            "status": {
+                "change_id": broken.change_id,
+                "state": "rejected",
+                "reason": (
+                    "//layer1/t002:lib unit_test: "
+                    "FAIL:unit_test directive present"
+                ),
+                "enqueued_at": 0.0,
+                "decided_at": 2.0,
+                "turnaround_minutes": 2.0,
+                "speculations": {"succeeded": 0, "failed": 1},
+                "builds": {"scheduled": 1, "aborted": 0},
+            },
+        }
+
+    def test_missing_and_nonstring_change_id(self, setup):
+        _, handlers = setup
+        golden = {"ok": False, "error": "change_id required", "code": 400}
+        assert handlers.handle_land({}) == golden
+        assert handlers.handle_land({"change_id": 42}) == golden
+        assert handlers.handle_land({"change_id": None}) == golden
+
+    def test_unknown_draft(self, setup):
+        _, handlers = setup
+        assert handlers.handle_land({"change_id": "nope"}) == {
+            "ok": False,
+            "error": "unknown draft nope",
+            "code": 404,
+        }
+
+    def test_landing_consumes_the_draft(self, setup):
+        monorepo, handlers = setup
+        change = monorepo.make_clean_change()
+        handlers.register_draft(change)
+        handlers.handle_land({"change_id": change.change_id, "wait": True})
+        assert handlers.handle_land({"change_id": change.change_id}) == {
+            "ok": False,
+            "error": f"unknown draft {change.change_id}",
+            "code": 404,
+        }
+
+    def test_service_error_becomes_500(self, setup):
+        monorepo, handlers = setup
+
+        def boom(change, wait=False):
+            raise ReproError("queue on fire")
+
+        handlers._service.land_change = boom
+        change = monorepo.make_clean_change()
+        handlers.register_draft(change)
+        assert handlers.handle_land({"change_id": change.change_id}) == {
+            "ok": False,
+            "error": "queue on fire",
+            "code": 500,
+        }
+
+
+class TestStatusGolden:
+    def test_status_of_committed_change(self, setup):
+        monorepo, handlers = setup
+        change = monorepo.make_clean_change()
+        handlers.register_draft(change)
+        landed = handlers.handle_land(
+            {"change_id": change.change_id, "wait": True}
+        )
+        status = handlers.handle_status({"change_id": change.change_id})
+        assert status == {
+            "ok": True,
+            "code": 200,
+            "status": landed["status"],
+        }
+
+    def test_missing_and_nonstring_change_id(self, setup):
+        _, handlers = setup
+        golden = {"ok": False, "error": "change_id required", "code": 400}
+        assert handlers.handle_status({}) == golden
+        assert handlers.handle_status({"change_id": ["D1"]}) == golden
+
+    def test_unknown_change(self, setup):
+        _, handlers = setup
+        assert handlers.handle_status({"change_id": "nope"}) == {
+            "ok": False,
+            "error": "unknown change nope",
+            "code": 404,
+        }
+
+
+class TestQueueProcessMainlineGolden:
+    def test_queue_empty_and_pending(self, setup):
+        monorepo, handlers = setup
+        assert handlers.handle_queue() == {
+            "ok": True,
+            "code": 200,
+            "depth": 0,
+            "pending": [],
+        }
+        first = monorepo.make_clean_change()
+        second = monorepo.make_clean_change()
+        for change in (first, second):
+            handlers.register_draft(change)
+            handlers.handle_land({"change_id": change.change_id})
+        assert handlers.handle_queue() == {
+            "ok": True,
+            "code": 200,
+            "depth": 2,
+            "pending": [first.change_id, second.change_id],
+        }
+
+    def test_process_drains_the_queue(self, setup):
+        monorepo, handlers = setup
+        for _ in range(2):
+            change = monorepo.make_clean_change()
+            handlers.register_draft(change)
+            handlers.handle_land({"change_id": change.change_id})
+        assert handlers.handle_process() == {
+            "ok": True,
+            "code": 200,
+            "decisions": 2,
+        }
+        # Idle queue: processing again decides nothing.
+        assert handlers.handle_process() == {
+            "ok": True,
+            "code": 200,
+            "decisions": 0,
+        }
+
+    def test_mainline_green_bit(self, setup):
+        monorepo, handlers = setup
+        golden = {"ok": True, "code": 200, "green": True}
+        assert handlers.handle_mainline() == golden
+        # A rejected change never lands, so mainline stays green.
+        broken = monorepo.make_broken_change()
+        handlers.register_draft(broken)
+        handlers.handle_land({"change_id": broken.change_id, "wait": True})
+        assert handlers.handle_mainline() == golden
+
+    def test_request_argument_is_optional_and_ignored(self, setup):
+        _, handlers = setup
+        assert handlers.handle_queue({"junk": 1}) == handlers.handle_queue()
+        assert handlers.handle_mainline({"x": 2}) == handlers.handle_mainline()

@@ -1,0 +1,242 @@
+"""Benchmark-trajectory folding (`repro.obs.bench`).
+
+Collection from BENCH_*.json datapoint files, idempotent folding keyed
+by commit, direction-aware regression classification, and the rendered
+`obs bench` report.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import (
+    SUMMARY_NAME,
+    collect_results,
+    fold_results,
+    load_summary,
+    metric_direction,
+    render_trajectory,
+    trajectory_deltas,
+    write_summary,
+)
+
+
+def _write_bench(results_dir, suite, kernels):
+    path = os.path.join(results_dir, f"BENCH_{suite}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"kernels": kernels, "machine": "test"}, handle)
+    return path
+
+
+class TestCollect:
+    def test_collects_numeric_metrics_only(self, tmp_path):
+        _write_bench(
+            tmp_path,
+            "throughput",
+            {
+                "pump": {
+                    "wall_seconds": 1.5,
+                    "speedup": 1.8,
+                    "fingerprint": "abc123",  # identity, not a metric
+                    "ok": True,  # bools are not metrics
+                    "monorepo_layers": 3,  # explicitly skipped
+                }
+            },
+        )
+        results = collect_results(str(tmp_path))
+        assert results == {
+            "throughput": {"pump": {"wall_seconds": 1.5, "speedup": 1.8}}
+        }
+
+    def test_skips_summary_and_unreadable_files(self, tmp_path):
+        _write_bench(tmp_path, "good", {"k": {"metric": 1.0}})
+        (tmp_path / SUMMARY_NAME).write_text('{"series": {}}')
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        results = collect_results(str(tmp_path))
+        assert set(results) == {"good"}
+
+    def test_empty_dir(self, tmp_path):
+        assert collect_results(str(tmp_path)) == {}
+
+
+class TestFold:
+    def test_fold_appends_series_across_commits(self):
+        summary = fold_results(
+            {"suite": {"k": {"speedup": 1.0}}}, commit="aaa"
+        )
+        summary = fold_results(
+            {"suite": {"k": {"speedup": 2.0}}}, summary=summary, commit="bbb"
+        )
+        points = summary["series"]["suite/k/speedup"]
+        assert [(p["commit"], p["value"]) for p in points] == [
+            ("aaa", 1.0),
+            ("bbb", 2.0),
+        ]
+        assert summary["last_commit"] == "bbb"
+
+    def test_refolding_same_commit_is_idempotent(self):
+        summary = fold_results({"s": {"k": {"m": 1.0}}}, commit="aaa")
+        summary = fold_results(
+            {"s": {"k": {"m": 1.5}}}, summary=summary, commit="aaa"
+        )
+        points = summary["series"]["s/k/m"]
+        assert len(points) == 1
+        assert points[0] == {"commit": "aaa", "value": 1.5}
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = str(tmp_path / SUMMARY_NAME)
+        summary = fold_results({"s": {"k": {"m": 1.0}}}, commit="aaa")
+        write_summary(path, summary)
+        loaded = load_summary(path)
+        assert loaded == summary
+        assert load_summary(str(tmp_path / "missing.json")) is None
+
+    def test_malformed_prior_summary_is_replaced(self):
+        summary = fold_results(
+            {"s": {"k": {"m": 1.0}}}, summary={"series": "oops"}, commit="a"
+        )
+        assert summary["series"]["s/k/m"][0]["value"] == 1.0
+
+
+class TestDirectionAndDeltas:
+    @pytest.mark.parametrize(
+        "metric,direction",
+        [
+            ("wall_seconds", -1),
+            ("replay_ms", -1),
+            ("p95_wall_minutes", -1),
+            ("speedup", +1),
+            ("decisions_per_sec", +1),
+            ("commits_per_hour", +1),
+            ("hit_rate", +1),
+            ("builds_started", 0),
+            ("targets", 0),
+        ],
+    )
+    def test_metric_direction(self, metric, direction):
+        assert metric_direction(metric) == direction
+
+    def test_regression_flags_follow_direction(self):
+        summary = fold_results(
+            {
+                "s": {
+                    "k": {
+                        "wall_seconds": 1.0,
+                        "speedup": 2.0,
+                        "builds_started": 10.0,
+                    }
+                }
+            },
+            commit="aaa",
+        )
+        summary = fold_results(
+            {
+                "s": {
+                    "k": {
+                        "wall_seconds": 2.0,  # 2x slower: regression
+                        "speedup": 1.0,  # halved: regression
+                        "builds_started": 99.0,  # neutral: never flagged
+                    }
+                }
+            },
+            summary=summary,
+            commit="bbb",
+        )
+        verdicts = {
+            d["series"]: d["verdict"] for d in trajectory_deltas(summary)
+        }
+        assert verdicts == {
+            "s/k/wall_seconds": "regression",
+            "s/k/speedup": "regression",
+            "s/k/builds_started": "steady",
+        }
+
+    def test_improvement_and_threshold(self):
+        summary = fold_results({"s": {"k": {"wall_seconds": 2.0}}}, commit="a")
+        summary = fold_results(
+            {"s": {"k": {"wall_seconds": 1.0}}}, summary=summary, commit="b"
+        )
+        (delta,) = trajectory_deltas(summary)
+        assert delta["verdict"] == "improvement"
+        assert delta["delta_ratio"] == pytest.approx(-0.5)
+        # A 5% move stays under the default 10% threshold.
+        steady = fold_results({"s": {"k": {"wall_seconds": 1.0}}}, commit="a")
+        steady = fold_results(
+            {"s": {"k": {"wall_seconds": 1.05}}}, summary=steady, commit="b"
+        )
+        assert trajectory_deltas(steady)[0]["verdict"] == "steady"
+        # ...but a tighter threshold flags it.
+        assert (
+            trajectory_deltas(steady, threshold=0.03)[0]["verdict"]
+            == "regression"
+        )
+
+    def test_single_point_series_is_steady(self):
+        summary = fold_results({"s": {"k": {"wall_seconds": 1.0}}}, commit="a")
+        (delta,) = trajectory_deltas(summary)
+        assert delta["verdict"] == "steady" and delta["previous"] is None
+
+
+class TestRender:
+    def test_render_flags_regressions(self):
+        summary = fold_results({"s": {"k": {"wall_seconds": 1.0}}}, commit="a")
+        summary = fold_results(
+            {"s": {"k": {"wall_seconds": 3.0}}}, summary=summary, commit="b"
+        )
+        report = render_trajectory(summary)
+        assert "s/k/wall_seconds" in report
+        assert "REGRESSION" in report
+        assert "1 regression(s)" in report
+
+    def test_render_clean_trajectory(self):
+        summary = fold_results({"s": {"k": {"speedup": 2.0}}}, commit="a")
+        report = render_trajectory(summary)
+        assert "1 series" in report and "no regressions" in report
+
+    def test_render_empty_summary(self):
+        report = render_trajectory({"series": {}})
+        assert "no benchmark series" in report
+
+
+class TestAggregateScript:
+    def test_end_to_end_fold(self, tmp_path):
+        import subprocess
+        import sys
+
+        _write_bench(tmp_path, "suite", {"k": {"wall_seconds": 1.0}})
+        script = os.path.join("benchmarks", "aggregate.py")
+        for commit in ("aaa", "aaa", "bbb"):  # double-fold aaa: idempotent
+            result = subprocess.run(
+                [
+                    sys.executable, script,
+                    "--results-dir", str(tmp_path),
+                    "--commit", commit,
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+        summary = load_summary(str(tmp_path / SUMMARY_NAME))
+        assert [p["commit"] for p in summary["series"]["suite/k/wall_seconds"]] == [
+            "aaa",
+            "bbb",
+        ]
+
+    def test_empty_results_dir_fails(self, tmp_path):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [
+                sys.executable,
+                os.path.join("benchmarks", "aggregate.py"),
+                "--results-dir", str(tmp_path / "nothing"),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "no BENCH_" in result.stderr

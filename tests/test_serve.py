@@ -1,0 +1,213 @@
+"""The HTTP observability service (`repro.serve`).
+
+Boots a real `ObservabilityServer` on an ephemeral port (in a daemon
+thread) and exercises every route with urllib — including the error
+paths the smoke job curls: unknown change 404, malformed body 400,
+unknown route 404, and the POST /shutdown lifecycle.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.recorder import NULL_RECORDER
+from repro.serve import (
+    ObservabilityServer,
+    build_journal_service,
+    build_quickstart_service,
+)
+
+from .make_golden_journal import GOLDEN_DIR
+
+CHANGES = 8
+DRAFTS = 2
+
+
+def _get(url, expect=200):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            code, body = response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        code, body = exc.code, exc.read()
+    assert code == expect, f"{url}: {code} != {expect}: {body!r}"
+    return body
+
+
+def _get_json(url, expect=200):
+    return json.loads(_get(url, expect=expect))
+
+
+def _post_json(url, payload, expect=200):
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            code, raw = response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        code, raw = exc.code, exc.read()
+    assert code == expect, f"POST {url}: {code} != {expect}: {raw!r}"
+    return json.loads(raw)
+
+
+@pytest.fixture(scope="module")
+def served():
+    core, handlers = build_quickstart_service(
+        changes=CHANGES, drafts=DRAFTS, seed=7, workers=4, backend="local"
+    )
+    server = ObservabilityServer(core, handlers=handlers, port=0)
+    server.start_background()
+    yield server
+    server.shutdown()
+    server.close()
+    core.close()
+
+
+class TestReadEndpoints:
+    def test_healthz(self, served):
+        payload = _get_json(f"{served.url}/healthz")
+        assert payload["ok"] is True and payload["status"] == "healthy"
+        assert payload["tracing"] is True
+        assert payload["clock_minutes"] > 0.0
+        assert payload["pending"] == 0
+
+    def test_metrics_prometheus_text(self, served):
+        body = _get(f"{served.url}/metrics").decode()
+        assert "# TYPE" in body
+        assert "executor_builds_total" in body
+        assert "planner_builds_completed_total" in body
+
+    def test_state(self, served):
+        payload = _get_json(f"{served.url}/state")
+        assert payload["green"] is True
+        assert payload["queue"]["depth"] == 0
+        assert len(payload["changes"]) == CHANGES
+        for status in payload["changes"].values():
+            assert status["state"] in {"committed", "rejected"}
+
+    def test_slo(self, served):
+        payload = _get_json(f"{served.url}/slo")
+        assert payload["ok"] is True
+        decided = (
+            payload["decisions"]["committed"] + payload["decisions"]["rejected"]
+        )
+        assert 0 < decided <= CHANGES
+        assert payload["window_minutes"] == served.slo_window_minutes
+
+    def test_trace_is_chrome_shaped(self, served):
+        payload = _get_json(f"{served.url}/trace")
+        events = payload["traceEvents"]
+        assert any(e.get("ph") == "X" and e["name"] == "build" for e in events)
+        # The local backend ran traced builds: both clock processes exist.
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_queue_mainline_and_change_status(self, served):
+        assert _get_json(f"{served.url}/queue")["depth"] == 0
+        assert _get_json(f"{served.url}/mainline")["green"] is True
+        state = _get_json(f"{served.url}/state")
+        change_id = sorted(state["changes"])[0]
+        status = _get_json(f"{served.url}/changes/{change_id}")
+        assert status["ok"] and status["status"]["change_id"] == change_id
+
+    def test_unknown_routes_and_change_404(self, served):
+        assert _get_json(f"{served.url}/nope", expect=404)["ok"] is False
+        payload = _get_json(f"{served.url}/changes/NOPE", expect=404)
+        assert "unknown change" in payload["error"]
+
+
+class TestWriteEndpoints:
+    def test_land_draft_then_process(self, served):
+        # Change ids come from a process-global counter: ask the handlers
+        # which drafts exist instead of computing the id.
+        draft_id = sorted(served.handlers._drafts)[0]
+        landed = _post_json(f"{served.url}/changes", {"change_id": draft_id})
+        assert landed["ok"] is True
+        assert _get_json(f"{served.url}/queue")["depth"] == 1
+        processed = _post_json(f"{served.url}/process", {})
+        assert processed["decisions"] == 1
+        status = _get_json(f"{served.url}/changes/{draft_id}")
+        assert status["status"]["state"] in {"committed", "rejected"}
+
+    def test_land_unknown_draft_404(self, served):
+        payload = _post_json(
+            f"{served.url}/changes", {"change_id": "nope"}, expect=404
+        )
+        assert "unknown draft" in payload["error"]
+
+    def test_malformed_body_400(self, served):
+        payload = _post_json(
+            f"{served.url}/changes", b"{not json", expect=400
+        )
+        assert payload == {
+            "ok": False,
+            "error": "malformed JSON body",
+            "code": 400,
+        }
+        # A JSON scalar is equally malformed: handlers take objects.
+        assert _post_json(f"{served.url}/process", b'"hi"', expect=400)[
+            "error"
+        ] == "malformed JSON body"
+
+    def test_post_unknown_route_404(self, served):
+        assert _post_json(f"{served.url}/nope", {}, expect=404)["ok"] is False
+
+
+class TestLifecycleAndWorkloads:
+    def test_post_shutdown_stops_the_server(self):
+        core, handlers = build_quickstart_service(
+            changes=2, drafts=0, seed=9, workers=2, backend=None
+        )
+        server = ObservabilityServer(core, handlers=handlers, port=0)
+        server.start_background()
+        try:
+            payload = _post_json(f"{server.url}/shutdown", {})
+            assert payload["status"] == "shutting down"
+            # Shutdown is handed to a helper thread so the response can
+            # flush first; wait for the serving thread to wind down.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                thread = server._thread
+                if thread is None or not thread.is_alive():
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("server thread still alive after POST /shutdown")
+        finally:
+            server.shutdown()
+            server.close()
+            core.close()
+
+    def test_slo_and_trace_503_without_recorder(self):
+        core, handlers = build_quickstart_service(
+            changes=2, drafts=0, seed=9, workers=2, backend=None,
+            recorder=NULL_RECORDER,
+        )
+        server = ObservabilityServer(core, handlers=handlers, port=0)
+        server.start_background()
+        try:
+            assert _get_json(f"{server.url}/healthz")["tracing"] is False
+            assert _get_json(f"{server.url}/slo", expect=503)["ok"] is False
+            assert _get_json(f"{server.url}/trace", expect=503)["ok"] is False
+        finally:
+            server.shutdown()
+            server.close()
+            core.close()
+
+    def test_journal_replay_workload(self):
+        core, handlers = build_journal_service(GOLDEN_DIR)
+        server = ObservabilityServer(core, handlers=handlers, port=0)
+        server.start_background()
+        try:
+            health = _get_json(f"{server.url}/healthz")
+            assert health["ok"] is True and health["tracing"] is True
+            state = _get_json(f"{server.url}/state")
+            assert state["changes"], "replay must surface the journal's changes"
+            assert state["mainline_commits"] == core.repo.mainline_length()
+        finally:
+            server.shutdown()
+            server.close()
+            core.close()
