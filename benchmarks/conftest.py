@@ -43,6 +43,11 @@ _EXEC_BENCH: dict = {}
 #: written to ``BENCH_parallel.json``.
 _PARALLEL_BENCH: dict = {}
 
+#: Risk-batching datapoints (changes/hour with and without speculative
+#: batching across a worker sweep at the figure-12 high-load rate),
+#: written to ``BENCH_batch.json``.
+_BATCH_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -73,6 +78,11 @@ def record_parallel_bench(key: str, payload: dict) -> None:
     _PARALLEL_BENCH[key] = payload
 
 
+def record_batch_bench(key: str, payload: dict) -> None:
+    """Record one risk-batching datapoint for BENCH_batch.json."""
+    _BATCH_BENCH[key] = payload
+
+
 def _write_bench_json(filename: str, kernels: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {
@@ -94,6 +104,8 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_json("BENCH_exec.json", _EXEC_BENCH)
     if _PARALLEL_BENCH:
         _write_bench_json("BENCH_parallel.json", _PARALLEL_BENCH)
+    if _BATCH_BENCH:
+        _write_bench_json("BENCH_batch.json", _BATCH_BENCH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,260 @@
+"""Risk-aware batching throughput: changes/hour at the figure-12 high-load rate.
+
+Drives the figure-12 simulation cell (500 changes/hour, the paper's
+highest arrival rate) across a worker sweep, once with plain SubmitQueue
+and once with :class:`~repro.strategies.risk_batch.RiskBatchStrategy` on
+the same pre-generated stream.  At low worker counts the pool saturates
+and plain SubmitQueue flat-lines (one speculation path per change — the
+Figure 12 ceiling); risk batches pack jointly-low-risk changes into one
+build and land them together, so the same pool decides more changes per
+hour.  Acceptance at the high-load cell (fewest workers): >= 1.5x
+changes/hour, the *same* commit set, and zero red commits — every landed
+change must keep the mainline green when replayed over the ground truth,
+which is what separates this from Chromium-style shippable-batch modes.
+
+A service-path smoke variant always runs (and is the CI gate): a
+``CoreService`` cell with batching *disabled* must produce a state
+fingerprint bit-identical to plain SubmitQueue, pinning the
+batching-off = seed-behavior guarantee; every datapoint lands in
+``benchmarks/results/BENCH_batch.json``.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import emit, record_batch_bench
+from repro.changes.truth import build_outcome, potential_conflict
+from repro.experiments.runner import format_table, make_stream, run_cell
+from repro.parallel import workload
+from repro.predictor.predictors import OraclePredictor
+from repro.strategies.risk_batch import RiskBatchStrategy
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.workload.repo_synth import MonorepoSpec
+
+#: The figure-12 high-load arrival rate (changes per hour).
+HIGH_LOAD_RATE = 500
+#: Stream length for each sweep cell.
+CELL_CHANGES = 300
+#: Worker sweep: the first entry is the high-load acceptance cell.
+WORKER_SWEEP = (8, 16, 32)
+#: Acceptance floor at the high-load cell: batching vs plain SubmitQueue.
+SPEEDUP_FLOOR = 1.5
+#: Batch-formation knobs used for the curve (documented in the table).
+BATCH_SIZE = 16
+MIN_JOINT_SUCCESS = 0.3
+
+_SMOKE_ONLY = os.environ.get("BATCH_BENCH_SMOKE") == "1"
+
+
+def _committed_ids(result):
+    return [d.change_id for d in result.decisions if d.committed]
+
+
+def _red_commits(result, stream):
+    """Committed changes that would have broken the mainline.
+
+    Replays the commit sequence over the ground-truth labels: change ``c``
+    is a red commit unless it is individually OK and free of real
+    conflicts with every *co-pending* change committed before it — the
+    per-change shippable-commit guarantee.  Label-mode ground truth only
+    models conflicts between changes racing through the queue together
+    (a change submitted after its partner landed was authored against a
+    mainline that already contained it), so pairs that were never
+    co-pending are out of scope for every strategy.
+    """
+    changes_by_id = {change.change_id: change for _, change in stream}
+    submitted_at = {change.change_id: at for at, change in stream}
+    landed = []  # (change, decided_at)
+    red = []
+    for decision in sorted(
+        (d for d in result.decisions if d.committed), key=lambda d: d.at
+    ):
+        change = changes_by_id[decision.change_id]
+        co_pending = [
+            other
+            for other, decided_at in landed
+            if decided_at > submitted_at[change.change_id]
+        ]
+        if not build_outcome(change, co_pending):
+            red.append(change.change_id)
+        landed.append((change, decision.at))
+    return red
+
+
+def _run_pair(stream, workers):
+    plain = run_cell(
+        SubmitQueueStrategy(OraclePredictor()), stream, workers,
+        potential_conflict,
+    )
+    strategy = RiskBatchStrategy(
+        OraclePredictor(),
+        batch_size=BATCH_SIZE,
+        min_joint_success=MIN_JOINT_SUCCESS,
+    )
+    batched = run_cell(strategy, stream, workers, potential_conflict)
+    return plain, batched, strategy.batch_stats
+
+
+@pytest.mark.skipif(
+    _SMOKE_ONLY, reason="BATCH_BENCH_SMOKE=1 runs only the smoke cell"
+)
+def test_batch_throughput_figure12_highload():
+    """Acceptance: >= 1.5x changes/hour at the high-load cell, zero red."""
+    stream = make_stream(HIGH_LOAD_RATE, CELL_CHANGES, seed=1212)
+    rows = []
+    speedups = {}
+    for workers in WORKER_SWEEP:
+        plain, batched, stats = _run_pair(stream, workers)
+        speedup = (
+            batched.throughput_per_hour / plain.throughput_per_hour
+            if plain.throughput_per_hour > 0
+            else 0.0
+        )
+        speedups[workers] = speedup
+
+        # Real-conflict pairs land first-wins, and landing *order* differs
+        # between the modes, so commit-set membership may swap within a
+        # conflicting pair — but the landed count must agree and neither
+        # mode may ship a red commit.
+        assert abs(batched.changes_committed - plain.changes_committed) <= 2
+        assert _red_commits(batched, stream) == []
+        assert _red_commits(plain, stream) == []
+
+        rows.append(
+            (
+                workers,
+                f"{plain.throughput_per_hour:.1f}",
+                f"{batched.throughput_per_hour:.1f}",
+                f"{speedup:.2f}x",
+                stats.batches_landed,
+                stats.members_committed,
+                stats.bisections,
+            )
+        )
+        record_batch_bench(
+            f"figure12_rate{HIGH_LOAD_RATE}_w{workers}",
+            {
+                "workers": workers,
+                "rate_per_hour": HIGH_LOAD_RATE,
+                "plain_changes_per_hour": round(plain.throughput_per_hour, 3),
+                "batched_changes_per_hour": round(
+                    batched.throughput_per_hour, 3
+                ),
+                "speedup": round(speedup, 3),
+                "batches_landed": stats.batches_landed,
+                "members_committed": stats.members_committed,
+                "bisections": stats.bisections,
+                "red_commits": 0,
+            },
+        )
+    record_batch_bench(
+        "figure12_highload_speedup",
+        {
+            "workers": WORKER_SWEEP[0],
+            "rate_per_hour": HIGH_LOAD_RATE,
+            "speedup": round(speedups[WORKER_SWEEP[0]], 3),
+            "floor": SPEEDUP_FLOOR,
+        },
+    )
+    emit(
+        "batch_throughput",
+        format_table(
+            (
+                "workers",
+                "plain c/h",
+                "batched c/h",
+                "speedup",
+                "batches",
+                "members",
+                "bisections",
+            ),
+            rows,
+            title=(
+                f"risk-aware batching @ {HIGH_LOAD_RATE} changes/h "
+                f"(batch_size={BATCH_SIZE}, same landed count per row)"
+            ),
+        ),
+    )
+    high_load = speedups[WORKER_SWEEP[0]]
+    assert high_load >= SPEEDUP_FLOOR, (
+        f"high-load speedup {high_load:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+
+
+def test_batch_off_fingerprint_smoke():
+    """CI cell: batching disabled must be bit-identical to plain SubmitQueue."""
+    files, changes = workload.mint_cell(
+        seed=7, count=6, spec=MonorepoSpec(layers=(3, 4, 3), fan_in=2)
+    )
+    plain = workload.run_cell(files, changes, service_workers=2)
+    off = _run_service_cell_batching_off(files, changes)
+    on = workload.run_cell(files, changes, service_workers=2, batching=True)
+    record_batch_bench(
+        "smoke_fingerprint",
+        {
+            "plain_fingerprint": plain.fingerprint,
+            "batching_off_fingerprint": off.fingerprint,
+            "identical": off.fingerprint == plain.fingerprint,
+            "batching_on_committed": on.committed,
+        },
+    )
+    emit(
+        "batch_throughput_smoke",
+        format_table(
+            ("mode", "landed", "builds", "fingerprint"),
+            [
+                ("plain", plain.committed, plain.builds_started,
+                 plain.fingerprint[:12]),
+                ("batching-off", off.committed, off.builds_started,
+                 off.fingerprint[:12]),
+                ("batching-on", on.committed, on.builds_started,
+                 on.fingerprint[:12]),
+            ],
+            title="batching-off bit-identity smoke (service path)",
+        ),
+    )
+    assert off.fingerprint == plain.fingerprint
+    assert off.decisions == plain.decisions
+    assert on.committed == len(changes)
+    assert on.mainline_green
+
+
+def _run_service_cell_batching_off(files, changes):
+    """The service cell under ``RiskBatchStrategy(enabled=False)``."""
+    import copy
+    import time
+
+    from repro.journal.fingerprint import fingerprint_digest
+    from repro.predictor.predictors import StaticPredictor
+    from repro.service.core import CoreService, CoreServiceConfig
+    from repro.vcs.repository import Repository
+
+    service = CoreService(
+        Repository(dict(files)),
+        RiskBatchStrategy(
+            StaticPredictor(success=0.9, conflict=0.05), enabled=False
+        ),
+        config=CoreServiceConfig(workers=2),
+    )
+    batch = copy.deepcopy(changes)
+    started = time.perf_counter()
+    for change in batch:
+        service.submit(change)
+    decisions = service.pump()
+    wall = time.perf_counter() - started
+    fingerprint = fingerprint_digest(service)
+    stats = service.planner.stats
+    sim_minutes = service.clock.now
+    green = all(service.repo.mainline_green_flags())
+    service.close()
+    return workload.CellResult(
+        backend="batching-off",
+        wall_seconds=wall,
+        fingerprint=fingerprint,
+        decisions=tuple((d.change_id, d.committed, d.at) for d in decisions),
+        builds_started=stats.builds_started,
+        steps_executed=stats.steps_executed,
+        sim_minutes=sim_minutes,
+        mainline_green=green,
+    )

@@ -142,6 +142,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rolling /slo window in simulated minutes",
     )
     serve.add_argument(
+        "--batching", action="store_true",
+        help="quickstart workload only: drive the queue with the "
+             "risk-aware batching strategy (/slo grows a 'batching' "
+             "section, /metrics the risk_batch_* series)",
+    )
+    serve.add_argument(
         "--trace", metavar="PREFIX", default=None,
         help="at shutdown write PREFIX.jsonl, PREFIX.trace.json and "
              "PREFIX.prom",
@@ -186,6 +192,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="synthetic wall cost per executed build step (milliseconds)",
     )
     parallel.add_argument("--seed", type=int, default=23)
+    parallel.add_argument(
+        "--batching", action="store_true",
+        help="also run the cell under risk-aware batching and report its "
+             "simulated landing rate vs plain SubmitQueue",
+    )
     return parser
 
 
@@ -316,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=backend,
             step_wall_seconds=args.step_wall_ms / 1000.0,
             recorder=recorder,
+            batching=args.batching,
         )
     elif args.workload.startswith("journal:"):
         core, handlers = build_journal_service(
@@ -592,6 +604,17 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     )
     identical = all(r.fingerprint == serial.fingerprint for r in results)
     print(f"state fingerprints identical: {identical}")
+    if args.batching:
+        batched = run_cell(
+            files, changes, step_wall_seconds=step_wall, batching=True
+        )
+        print(
+            f"risk batching: {batched.committed}/{len(batched.decisions)} "
+            f"landed in {batched.builds_started} builds "
+            f"(plain: {serial.builds_started}), "
+            f"{batched.changes_per_hour:.1f}/h vs "
+            f"{serial.changes_per_hour:.1f}/h simulated"
+        )
     return 0 if identical else 1
 
 

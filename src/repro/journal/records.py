@@ -46,13 +46,16 @@ BUILD_START = "build_start"
 DECISION = "decision"
 COMMIT = "commit"
 WORKER = "worker"
+BATCH = "batch"
 PUMP_END = "pump_end"
 SNAPSHOT = "snapshot"
 
 #: Inputs recovery re-drives through the service.
 DRIVER_TYPES = frozenset({SUBMIT, STALL, BUILD_FINISH})
 #: Outputs the replaying service must re-emit bit-identically.
-ASSERTION_TYPES = frozenset({INIT, EPOCH, BUILD_START, DECISION, COMMIT, WORKER})
+ASSERTION_TYPES = frozenset(
+    {INIT, EPOCH, BUILD_START, DECISION, COMMIT, WORKER, BATCH}
+)
 #: Bookkeeping the replay cursor skips.
 INFO_TYPES = frozenset({PUMP_END, SNAPSHOT})
 
@@ -251,6 +254,25 @@ def commit_record(
 
 def worker_record(at: float, busy: int, capacity: int) -> Dict[str, object]:
     return {"t": WORKER, "at": at, "busy": busy, "capacity": capacity}
+
+
+def batch_record(
+    at: float, kind: str, members: Sequence[str], depth: int
+) -> Dict[str, object]:
+    """One speculative-batch resolution (``kind``: landed | bisect).
+
+    Emitted only when the risk-batching strategy resolves a batch build,
+    so journals of batching-off runs stay byte-identical to the golden
+    pins — the same conditional-key discipline as the overlapped config
+    flag.
+    """
+    return {
+        "t": BATCH,
+        "at": at,
+        "kind": kind,
+        "members": list(members),
+        "depth": depth,
+    }
 
 
 def pump_end_record(at: float, decisions: int) -> Dict[str, object]:

@@ -91,9 +91,29 @@ def strategy_spec(strategy) -> Dict[str, object]:
     ``recover()`` callers must inject an equivalent strategy themselves.
     """
     from repro.predictor.predictors import StaticPredictor
+    from repro.strategies.risk_batch import RiskBatchStrategy
     from repro.strategies.submitqueue import SubmitQueueStrategy
 
-    if isinstance(strategy, SubmitQueueStrategy) and type(
+    if type(strategy) is RiskBatchStrategy and type(
+        strategy.predictor
+    ) is StaticPredictor:
+        # Subclass of SubmitQueueStrategy: must be matched before the
+        # generic branch or the batching knobs would be lost on replay.
+        predictor = strategy.predictor
+        return {
+            "name": "RiskBatchStrategy",
+            "predictor": {
+                "name": "StaticPredictor",
+                "success": predictor._success,
+                "conflict": predictor._conflict,
+            },
+            "enabled": strategy.enabled,
+            "batch_size": strategy.batch_size,
+            "member_confidence": strategy.member_confidence,
+            "max_pair_conflict": strategy.max_pair_conflict,
+            "min_joint_success": strategy.min_joint_success,
+        }
+    if type(strategy) is SubmitQueueStrategy and type(
         strategy.predictor
     ) is StaticPredictor:
         predictor = strategy.predictor
@@ -110,6 +130,23 @@ def strategy_spec(strategy) -> Dict[str, object]:
 
 def build_strategy(spec: Mapping[str, object]):
     """Rebuild a strategy from its journaled spec, or raise JournalError."""
+    if spec.get("name") == "RiskBatchStrategy":
+        predictor_spec = spec.get("predictor") or {}
+        if predictor_spec.get("name") == "StaticPredictor":
+            from repro.predictor.predictors import StaticPredictor
+            from repro.strategies.risk_batch import RiskBatchStrategy
+
+            return RiskBatchStrategy(
+                StaticPredictor(
+                    success=predictor_spec["success"],
+                    conflict=predictor_spec["conflict"],
+                ),
+                enabled=spec["enabled"],
+                batch_size=spec["batch_size"],
+                member_confidence=spec["member_confidence"],
+                max_pair_conflict=spec["max_pair_conflict"],
+                min_joint_success=spec["min_joint_success"],
+            )
     if spec.get("name") == "SubmitQueueStrategy":
         predictor_spec = spec.get("predictor") or {}
         if predictor_spec.get("name") == "StaticPredictor":

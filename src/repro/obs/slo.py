@@ -50,6 +50,7 @@ def compute_slo(
     horizon = 0.0
     decisions: List[Dict[str, object]] = []
     builds: List[Dict[str, object]] = []
+    batch_events: List[Dict[str, object]] = []
     for record in records:
         kind = record.get("type")
         if kind == "event":
@@ -57,6 +58,8 @@ def compute_slo(
             horizon = max(horizon, at)
             if record.get("name") == "decision":
                 decisions.append(record)
+            elif record.get("name") == "batch":
+                batch_events.append(record)
         elif kind == "span":
             horizon = max(horizon, float(record.get("end", 0.0)))
             if record.get("name") == "build":
@@ -102,7 +105,7 @@ def compute_slo(
     if worker_capacity and span_minutes > 0.0:
         utilization = busy_minutes / (worker_capacity * span_minutes)
     finished = total - aborted - superseded
-    return {
+    payload = {
         "window_minutes": window_minutes,
         "now": cut,
         "turnaround_minutes": (
@@ -122,6 +125,35 @@ def compute_slo(
             "utilization": utilization,
         },
     }
+    # Risk-batching health, present only when the run emits batch events
+    # (so plain-SubmitQueue /slo payloads — and their golden pins — are
+    # byte-identical to before batching existed).
+    if batch_events:
+        landed = bisections = members = 0
+        sizes: List[float] = []
+        max_depth = 0
+        for event in batch_events:
+            at = float(event.get("at", 0.0))
+            if not lo <= at <= cut:
+                continue
+            attrs = event.get("attrs") or {}
+            size = int(attrs.get("size", 0) or 0)
+            sizes.append(float(size))
+            max_depth = max(max_depth, int(attrs.get("depth", 0) or 0))
+            if attrs.get("kind") == "landed":
+                landed += 1
+                members += size
+            else:
+                bisections += 1
+        resolved = landed + bisections
+        payload["batching"] = {
+            "batches_landed": landed,
+            "members_committed": members,
+            "bisections": bisections,
+            "mean_size": sum(sizes) / resolved if resolved else 0.0,
+            "max_bisect_depth": max_depth,
+        }
+    return payload
 
 
 class SloAggregator:

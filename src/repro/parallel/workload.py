@@ -60,10 +60,19 @@ class CellResult:
     decisions: Tuple[Tuple[str, bool, float], ...]
     builds_started: int
     steps_executed: int
+    sim_minutes: float = 0.0
+    mainline_green: bool = True
 
     @property
     def committed(self) -> int:
         return sum(1 for _, committed, _ in self.decisions if committed)
+
+    @property
+    def changes_per_hour(self) -> float:
+        """Simulated-time landing rate (the paper's figure-12 metric)."""
+        if self.sim_minutes <= 0.0:
+            return 0.0
+        return self.committed / self.sim_minutes * 60.0
 
 
 def run_cell(
@@ -74,21 +83,33 @@ def run_cell(
     service_workers: int = 8,
     step_wall_seconds: float = 0.0,
     recorder: Recorder = NULL_RECORDER,
+    batching: bool = False,
 ) -> CellResult:
     """Submit every change, pump to a decision, time the whole cell.
 
     ``step_wall_seconds`` models the real compile/test subprocess each
     executed step would spawn; with it at zero the cell measures pure
     orchestration overhead instead of build-phase wall clock.
+
+    ``batching`` swaps the plain SubmitQueue strategy for the risk-aware
+    batching strategy (same predictor), so mirrored runs compare landing
+    rates with everything else held fixed.
     """
     from repro.predictor.predictors import StaticPredictor
     from repro.service.core import CoreService, CoreServiceConfig
     from repro.strategies.submitqueue import SubmitQueueStrategy
     from repro.vcs.repository import Repository
 
+    predictor = StaticPredictor(success=0.9, conflict=0.05)
+    if batching:
+        from repro.strategies.risk_batch import RiskBatchStrategy
+
+        strategy = RiskBatchStrategy(predictor)
+    else:
+        strategy = SubmitQueueStrategy(predictor)
     service = CoreService(
         Repository(dict(files)),
-        SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.05)),
+        strategy,
         config=CoreServiceConfig(
             workers=service_workers,
             build_backend=backend,
@@ -108,6 +129,8 @@ def run_cell(
 
     fingerprint = fingerprint_digest(service)
     stats = service.planner.stats
+    sim_minutes = service.clock.now
+    mainline_green = all(service.repo.mainline_green_flags())
     label = backend or "serial"
     if backend == "process" or (backend or "").startswith("process:"):
         workers = parallel_workers
@@ -124,4 +147,6 @@ def run_cell(
         ),
         builds_started=stats.builds_started,
         steps_executed=stats.steps_executed,
+        sim_minutes=sim_minutes,
+        mainline_green=mainline_green,
     )

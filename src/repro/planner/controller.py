@@ -64,7 +64,10 @@ class BuildController(abc.ABC):
         """
 
     def execute_batch(
-        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+        self,
+        keys: Sequence[BuildKey],
+        changes_by_id: Mapping[ChangeId, Change],
+        batch_members: Optional[Sequence[Sequence[ChangeId]]] = None,
     ) -> List[BuildExecution]:
         """Execute one epoch's selected builds, results in selection order.
 
@@ -72,6 +75,10 @@ class BuildController(abc.ABC):
         controllers with a parallel backend attached override this to fan
         the batch out while still *returning* in selection order — the
         planner's deterministic quiescent point.
+
+        ``batch_members`` (aligned with ``keys`` when present) carries the
+        speculative-batch membership riding on each build — metadata the
+        base implementation ignores; outcomes never depend on it.
         """
         return [self.execute(key, changes_by_id) for key in keys]
 
@@ -435,6 +442,7 @@ class FullStackBuildController(BuildController):
         changes_by_id: Mapping[ChangeId, Change],
         trace_id: str = "",
         parent_span_id: int = 0,
+        batch_members: Sequence[ChangeId] = (),
     ):
         from repro.parallel.payload import BuildRequest
 
@@ -453,6 +461,7 @@ class FullStackBuildController(BuildController):
             step_wall_seconds=self.step_wall_seconds,
             trace_id=trace_id,
             parent_span_id=parent_span_id,
+            batch_members=tuple(batch_members),
         )
 
     def _merge_response(
@@ -562,6 +571,7 @@ class FullStackBuildController(BuildController):
         changes_by_id: Mapping[ChangeId, Change],
         span_ids: Optional[Sequence[int]] = None,
         now: Optional[float] = None,
+        batch_members: Optional[Sequence[Sequence[ChangeId]]] = None,
     ) -> None:
         """Start one epoch's builds on the backend without waiting.
 
@@ -584,6 +594,13 @@ class FullStackBuildController(BuildController):
         ids = list(span_ids) if span_ids is not None else [0] * len(keys)
         if len(ids) != len(keys):
             raise ValueError("span_ids must align with keys")
+        members = (
+            list(batch_members)
+            if batch_members is not None
+            else [()] * len(keys)
+        )
+        if len(members) != len(keys):
+            raise ValueError("batch_members must align with keys")
         tracing = self.recorder.enabled and now is not None
         requests = [
             self._build_request(
@@ -592,8 +609,11 @@ class FullStackBuildController(BuildController):
                 changes_by_id,
                 trace_id=f"dispatch:{span_id}" if tracing and span_id > 0 else "",
                 parent_span_id=span_id if tracing else 0,
+                batch_members=group,
             )
-            for position, (key, span_id) in enumerate(zip(keys, ids))
+            for position, (key, span_id, group) in enumerate(
+                zip(keys, ids, members)
+            )
         ]
         token = self._backend.submit_batch(requests)
         self._pending_dispatches.append((token, list(keys), ids, now))
@@ -631,7 +651,10 @@ class FullStackBuildController(BuildController):
     # -- execution ----------------------------------------------------------
 
     def execute_batch(
-        self, keys: Sequence[BuildKey], changes_by_id: Mapping[ChangeId, Change]
+        self,
+        keys: Sequence[BuildKey],
+        changes_by_id: Mapping[ChangeId, Change],
+        batch_members: Optional[Sequence[Sequence[ChangeId]]] = None,
     ) -> List[BuildExecution]:
         """One epoch's builds — fanned out when a backend is attached.
 
@@ -639,13 +662,23 @@ class FullStackBuildController(BuildController):
         order (the backend contract) and merge sequentially, so the
         parent's cache and prefix state evolve exactly as if the batch
         had run inline.  Without a backend (or in from-scratch reference
-        mode) this is the plain serial loop.
+        mode) this is the plain serial loop.  ``batch_members`` threads
+        speculative-batch membership into each request as metadata.
         """
         if self._backend is None or not self.incremental:
             return [self.execute(key, changes_by_id) for key in keys]
+        members = (
+            list(batch_members)
+            if batch_members is not None
+            else [()] * len(keys)
+        )
+        if len(members) != len(keys):
+            raise ValueError("batch_members must align with keys")
         requests = [
-            self._build_request(position, key, changes_by_id)
-            for position, key in enumerate(keys)
+            self._build_request(
+                position, key, changes_by_id, batch_members=group
+            )
+            for position, (key, group) in enumerate(zip(keys, members))
         ]
         responses = self._backend.run_batch(requests, idle_hook=self.idle_hook)
         if len(responses) != len(requests):

@@ -563,6 +563,17 @@ class PlannerEngine:
         """
         if not keys:
             return []
+        # Batch-protocol strategies annotate selected keys with the batch
+        # membership riding on them; the controller threads it into each
+        # BuildRequest as outcome-neutral metadata.  The kwarg is passed
+        # only when some key carries members, so plain strategies and
+        # two-argument stub controllers are untouched.
+        members_of = getattr(self.strategy, "scheduled_batch_members", None)
+        batch_members: Optional[List[tuple]] = None
+        if members_of is not None:
+            groups = [tuple(members_of(key)) for key in keys]
+            if any(groups):
+                batch_members = groups
         # Overlapped path: a controller with a backend attached takes the
         # batch asynchronously — executions (and durations) arrive at the
         # next quiescent point via resolve_pending().  Everything the
@@ -586,8 +597,17 @@ class PlannerEngine:
                 record.span.span_id if record.span is not None else 0
                 for record in records
             ]
+            dispatch_kwargs = (
+                {"batch_members": batch_members}
+                if batch_members is not None
+                else {}
+            )
             self.controller.dispatch_batch(
-                keys, self.all_changes, span_ids=span_ids, now=now
+                keys,
+                self.all_changes,
+                span_ids=span_ids,
+                now=now,
+                **dispatch_kwargs,
             )
             self._pending_resolution.append(
                 {
@@ -605,7 +625,12 @@ class PlannerEngine:
         # the executions come back in selection order.
         execute_batch = getattr(self.controller, "execute_batch", None)
         if execute_batch is not None:
-            executions = execute_batch(keys, self.all_changes)
+            if batch_members is not None:
+                executions = execute_batch(
+                    keys, self.all_changes, batch_members=batch_members
+                )
+            else:
+                executions = execute_batch(keys, self.all_changes)
         else:
             executions = [
                 self.controller.execute(key, self.all_changes) for key in keys

@@ -265,25 +265,37 @@ def build_quickstart_service(
     backend: Optional[str] = "process:2",
     step_wall_seconds: float = 0.0,
     recorder: Optional[Recorder] = None,
+    batching: bool = False,
 ):
     """A served-ready core service over the figure-12 shaped workload.
 
     Submits and pumps ``changes`` clean changes (populating the tracer,
     metrics, and decision history the read endpoints expose), then
     registers ``drafts`` more as landable drafts so ``POST /changes``
-    has something to land.  Returns ``(core, handlers)``.
+    has something to land.  ``batching`` swaps in the risk-aware
+    batching strategy, so ``/slo`` grows its ``batching`` section and
+    ``/metrics`` the ``risk_batch_*`` series.  Returns
+    ``(core, handlers)``.
     """
     from repro.parallel.workload import mint_cell
     from repro.predictor.predictors import StaticPredictor
     from repro.service.core import CoreService, CoreServiceConfig
-    from repro.strategies.submitqueue import SubmitQueueStrategy
     from repro.vcs.repository import Repository
 
+    predictor = StaticPredictor(success=0.9, conflict=0.05)
+    if batching:
+        from repro.strategies.risk_batch import RiskBatchStrategy
+
+        strategy = RiskBatchStrategy(predictor)
+    else:
+        from repro.strategies.submitqueue import SubmitQueueStrategy
+
+        strategy = SubmitQueueStrategy(predictor)
     files, batch = mint_cell(count=changes + drafts, seed=seed)
     recorder = recorder if recorder is not None else Recorder()
     core = CoreService(
         Repository(dict(files)),
-        SubmitQueueStrategy(StaticPredictor(success=0.9, conflict=0.05)),
+        strategy,
         config=CoreServiceConfig(
             workers=workers,
             build_backend=backend,

@@ -413,6 +413,23 @@ class CoreService:
             )
         mainline_before = self.repo.mainline_length()
         new_decisions = self.planner.complete(key, self.clock.now)
+        # Batch-protocol strategies buffer their resolutions (batch landed /
+        # bisected) during complete(); drain them unconditionally so the
+        # buffer never grows, journal them only when a sink is attached.
+        # Batching-off runs emit no batch records, keeping their journals
+        # byte-identical to the golden pins.
+        drain = getattr(self.planner.strategy, "drain_journal_events", None)
+        if drain is not None:
+            for event in drain():
+                if self._journal.enabled:
+                    self._journal.append(
+                        journal_records.batch_record(
+                            event["at"],
+                            event["kind"],
+                            event["members"],
+                            event["depth"],
+                        )
+                    )
         if self._journal.enabled:
             commit_index = mainline_before
             for decision in new_decisions:

@@ -13,6 +13,12 @@ needed.  It combines:
   (greedy best-first, O(live changes) memory, section 7.1).
 """
 
+from repro.speculation.batching import (
+    BatchPlan,
+    bisect_halves,
+    joint_success_probability,
+    plan_batches,
+)
 from repro.speculation.engine import (
     ScoredBuild,
     SpeculationEngine,
@@ -28,15 +34,19 @@ from repro.speculation.probability import (
 from repro.speculation.tree import SpeculationNode, SubsetEnumerator, enumerate_tree
 
 __all__ = [
+    "BatchPlan",
     "ScoredBuild",
     "SpeculationEngine",
     "SpeculationEngineStats",
     "SpeculationNode",
     "SubsetEnumerator",
+    "bisect_halves",
     "conditional_success",
     "dirty_cone",
     "enumerate_tree",
     "estimate_commit_probabilities",
+    "joint_success_probability",
+    "plan_batches",
     "estimate_commit_probabilities_incremental",
     "p_needed",
 ]

@@ -59,6 +59,7 @@ from repro.changes.state import ChangeRecord
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.obs.registry import UNIT_BUCKETS, MetricsRegistry
 from repro.predictor.predictors import Predictor
+from repro.speculation.batching import BatchPlan, plan_batches
 from repro.speculation.probability import (
     conditional_success,
     dirty_cone,
@@ -325,6 +326,57 @@ class SpeculationEngine:
         order = [change.change_id for change in pending]
         return estimate_commit_probabilities(
             order, ancestors, p_success, p_conflict, decided
+        )
+
+    def plan_risk_batches(
+        self,
+        candidates: Sequence[ChangeId],
+        records: Mapping[ChangeId, ChangeRecord],
+        changes_by_id: Mapping[ChangeId, Change],
+        batch_size: int,
+        member_confidence: float,
+        max_pair_conflict: float,
+        min_joint_success: float,
+    ) -> List["BatchPlan"]:
+        """Greedy jointly-low-risk batches over ``candidates``.
+
+        ``candidates`` must be pending changes whose conflicting ancestors
+        are all decided, in submission order (the strategy layer enforces
+        eligibility).  With no pending ancestors a candidate's commit mass
+        *is* its decisive success probability, so the batch value — the
+        Equations 1-5 mass a single build decides — is the sum of member
+        ``P_succ``.  Probabilities come from the same per-round caches the
+        selection path fills, so batch planning never re-asks the
+        predictor for an answer selection already paid for.
+        """
+        if len(candidates) < 2:
+            return []
+        counters: Dict[ChangeId, Tuple[int, int]] = {}
+        for change_id in candidates:
+            record = records.get(change_id)
+            counters[change_id] = (
+                record.speculations_succeeded if record is not None else 0,
+                record.speculations_failed if record is not None else 0,
+            )
+        self._batch_p_success(candidates, counters, changes_by_id, records)
+
+        def p_success(change_id: ChangeId) -> float:
+            return self._cached_p_success(
+                change_id, counters[change_id], changes_by_id, records
+            )
+
+        def p_conflict(first_id: ChangeId, second_id: ChangeId) -> float:
+            return self._cached_p_conflict(first_id, second_id, changes_by_id)
+
+        return plan_batches(
+            candidates,
+            p_success,
+            p_conflict,
+            commit_mass=p_success,
+            batch_size=batch_size,
+            member_confidence=member_confidence,
+            max_pair_conflict=max_pair_conflict,
+            min_joint_success=min_joint_success,
         )
 
     def _change_inputs(

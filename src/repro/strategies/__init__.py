@@ -18,6 +18,9 @@ compares them.
   per conflict component; independent components run in parallel.
 * :class:`BatchStrategy` — Chromium commit-queue-style batches with
   bisection on failure.
+* :class:`RiskBatchStrategy` — SubmitQueue plus jointly-low-risk
+  speculative batches with culprit bisection; commits stay per-change
+  (shippable commits, not shippable batches).
 """
 
 from repro.strategies.base import Strategy
@@ -28,6 +31,7 @@ from repro.strategies.optimistic import OptimisticStrategy
 from repro.strategies.single_queue import SingleQueueStrategy
 from repro.strategies.batch import BatchStrategy
 from repro.strategies.independent_batch import IndependentBatchStrategy
+from repro.strategies.risk_batch import RiskBatchStrategy
 from repro.strategies.reordering import ReorderingSubmitQueueStrategy
 
 __all__ = [
@@ -35,6 +39,7 @@ __all__ = [
     "IndependentBatchStrategy",
     "ReorderingSubmitQueueStrategy",
     "OptimisticStrategy",
+    "RiskBatchStrategy",
     "OracleStrategy",
     "SingleQueueStrategy",
     "SpeculateAllStrategy",

@@ -59,6 +59,7 @@ class TestRecordBuilders:
             rec.commit_record(5.0, change.change_id, 1, {"a.py": "x", "b.py": None}),
             rec.worker_record(5.0, 1, 3),
             rec.pump_end_record(6.0, 2),
+            rec.batch_record(6.0, "landed", ["c1", "c2"], 0),
             rec.snapshot_record(6.0, {"at": 6.0}),
         ]
         kinds = {record["t"] for record in samples}

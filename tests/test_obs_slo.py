@@ -133,6 +133,69 @@ class TestComputeSlo:
         assert payload["turnaround_minutes"]["count"] == 1
 
 
+def _batch(at, kind="landed", size=3, depth=0, event_id=1):
+    return {
+        "type": "event",
+        "id": event_id,
+        "name": "batch",
+        "cat": "planner",
+        "track": "service",
+        "at": at,
+        "span": None,
+        "attrs": {"kind": kind, "size": size, "depth": depth},
+    }
+
+
+class TestBatchingSection:
+    def test_absent_without_batch_events(self):
+        payload = compute_slo([_decision(1.0)], window_minutes=10.0)
+        assert "batching" not in payload
+
+    def test_folds_landed_and_bisected_batches(self):
+        records = [
+            _batch(1.0, kind="landed", size=4, depth=0, event_id=1),
+            _batch(2.0, kind="bisect", size=4, depth=0, event_id=2),
+            _batch(3.0, kind="landed", size=2, depth=1, event_id=3),
+        ]
+        payload = compute_slo(records, window_minutes=10.0)
+        batching = payload["batching"]
+        assert batching["batches_landed"] == 2
+        assert batching["members_committed"] == 6
+        assert batching["bisections"] == 1
+        assert batching["mean_size"] == pytest.approx(10.0 / 3.0)
+        assert batching["max_bisect_depth"] == 1
+
+    def test_window_cuts_old_batch_events(self):
+        records = [
+            _batch(0.0, kind="landed", size=4, event_id=1),  # outside
+            _batch(55.0, kind="landed", size=2, event_id=2),
+        ]
+        payload = compute_slo(records, now=60.0, window_minutes=20.0)
+        batching = payload["batching"]
+        assert batching["batches_landed"] == 1
+        assert batching["members_committed"] == 2
+
+    def test_batching_run_surfaces_in_live_slo(self):
+        from repro.obs.recorder import Recorder
+        from repro.parallel import workload
+        from repro.workload.repo_synth import MonorepoSpec
+
+        recorder = Recorder()
+        files, changes = workload.mint_cell(
+            seed=7, count=6, spec=MonorepoSpec(layers=(3, 4, 3), fan_in=2)
+        )
+        result = workload.run_cell(
+            files, changes, service_workers=2, batching=True,
+            recorder=recorder,
+        )
+        assert result.committed == len(changes)
+        payload = compute_slo(
+            recorder.tracer.snapshot_records(), window_minutes=1e9
+        )
+        assert payload["batching"]["batches_landed"] >= 1
+        assert payload["batching"]["members_committed"] >= 2
+
+
 class TestSloAggregator:
     def test_snapshot_over_live_tracer(self):
         clock = [0.0]

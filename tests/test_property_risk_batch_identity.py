@@ -1,0 +1,104 @@
+"""Property test: batching-off is bit-identical to plain SubmitQueue.
+
+``RiskBatchStrategy(enabled=False)`` promises seed behavior — selection
+delegates wholesale to :class:`SubmitQueueStrategy` and no batch state
+leaks into the run.  For random interleavings of interactive submissions,
+timed enqueues, and intermediate pumps, a service under the disabled
+batching strategy must reproduce the plain-strategy run exactly: the
+same decision sequence (ids, verdicts, decision times) and the same
+:func:`fingerprint_digest` at rest.  This is the invariant that keeps
+every batching-off golden pin byte-stable.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.journal import fingerprint_digest
+from repro.predictor.predictors import StaticPredictor
+from repro.service.core import CoreService, CoreServiceConfig
+from repro.strategies.risk_batch import RiskBatchStrategy
+from repro.strategies.submitqueue import SubmitQueueStrategy
+from repro.vcs.repository import Repository
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+MAX_CHANGES = 6
+
+#: Minted exactly once (change ids come from a process-global counter);
+#: every mirrored run deep-copies the pool over a private snapshot copy.
+_SYNTH = SyntheticMonorepo(MonorepoSpec(layers=(3, 4, 3), fan_in=2), seed=29)
+_TARGETS = _SYNTH.target_names()
+CHANGE_POOL = [
+    _SYNTH.make_clean_change(
+        target_name=_TARGETS[(3 * index) % len(_TARGETS)], submitted_at=0.0
+    )
+    for index in range(MAX_CHANGES - 1)
+]
+CHANGE_POOL.append(
+    _SYNTH.make_broken_change(target_name=_TARGETS[1], submitted_at=0.0)
+)
+FILES = _SYNTH.repo.snapshot().to_dict()
+
+
+def _strategy(batching_off):
+    predictor = StaticPredictor(success=0.9, conflict=0.05)
+    if batching_off:
+        return RiskBatchStrategy(predictor, enabled=False)
+    return SubmitQueueStrategy(predictor)
+
+
+def _drive(batching_off, script):
+    """Replay one drawn script against a fresh service; return the trace."""
+    service = CoreService(
+        Repository(dict(FILES)),
+        _strategy(batching_off),
+        config=CoreServiceConfig(workers=2),
+    )
+    batch = copy.deepcopy(CHANGE_POOL)
+    decisions = []
+    for index, (op, at, pump_after) in enumerate(script):
+        change = batch[index]
+        if op == "submit":
+            service.submit(change)
+        else:
+            service.enqueue(change, at=at)
+        if pump_after:
+            decisions.extend(service.pump())
+    decisions.extend(service.pump())
+    trace = (
+        tuple((d.change_id, d.committed, d.at) for d in decisions),
+        fingerprint_digest(service),
+    )
+    service.close()
+    return trace
+
+
+@st.composite
+def scripts(draw):
+    count = draw(st.integers(min_value=2, max_value=MAX_CHANGES))
+    script = []
+    for _ in range(count):
+        op = draw(st.sampled_from(["submit", "enqueue"]))
+        at = draw(st.sampled_from([0.0, 0.5, 1.0, 2.0, 5.0]))
+        pump_after = draw(st.booleans())
+        script.append((op, at, pump_after))
+    return script
+
+
+@given(script=scripts())
+@settings(max_examples=10, deadline=None)
+def test_batching_off_matches_plain_submitqueue(script):
+    assert _drive(True, script) == _drive(False, script)
+
+
+def test_batching_off_dense_script_sanity():
+    """A fixed dense script decides every change identically."""
+    script = [("submit", 0.0, False)] * 3 + [("enqueue", 1.0, True)] * 3
+    off = _drive(True, script)
+    plain = _drive(False, script)
+    assert off == plain
+    decisions, _ = off
+    assert len(decisions) == MAX_CHANGES
+    verdicts = dict((cid, ok) for cid, ok, _ in decisions)
+    assert sum(1 for ok in verdicts.values() if not ok) == 1  # the broken one

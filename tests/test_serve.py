@@ -197,6 +197,28 @@ class TestLifecycleAndWorkloads:
             server.close()
             core.close()
 
+    def test_batching_workload_surfaces_slo_section_and_metrics(self):
+        core, handlers = build_quickstart_service(
+            changes=12, drafts=0, seed=5, workers=4, backend=None,
+            batching=True,
+        )
+        server = ObservabilityServer(
+            core, handlers=handlers, port=0, slo_window_minutes=1e9
+        )
+        server.start_background()
+        try:
+            slo = _get_json(f"{server.url}/slo")
+            assert slo["batching"]["batches_landed"] >= 1
+            assert slo["batching"]["members_committed"] >= 2
+            metrics = _get(f"{server.url}/metrics").decode()
+            assert "risk_batches_landed_total" in metrics
+            state = _get_json(f"{server.url}/state")
+            assert state["green"] is True
+        finally:
+            server.shutdown()
+            server.close()
+            core.close()
+
     def test_journal_replay_workload(self):
         core, handlers = build_journal_service(GOLDEN_DIR)
         server = ObservabilityServer(core, handlers=handlers, port=0)
