@@ -48,6 +48,12 @@ _PARALLEL_BENCH: dict = {}
 #: written to ``BENCH_batch.json``.
 _BATCH_BENCH: dict = {}
 
+#: Sharded-queue datapoints (warm per-change analyze+sweep latency of the
+#: partition-sharded analyzer vs the monolithic one at deep pending
+#: depths, plus the service-path fingerprint smoke), written to
+#: ``BENCH_shard.json``.
+_SHARD_BENCH: dict = {}
+
 
 def emit(name: str, text: str) -> None:
     """Print a result table and persist it under benchmarks/results/."""
@@ -83,6 +89,11 @@ def record_batch_bench(key: str, payload: dict) -> None:
     _BATCH_BENCH[key] = payload
 
 
+def record_shard_bench(key: str, payload: dict) -> None:
+    """Record one sharded-queue datapoint for BENCH_shard.json."""
+    _SHARD_BENCH[key] = payload
+
+
 def _write_bench_json(filename: str, kernels: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     document = {
@@ -106,6 +117,8 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_json("BENCH_parallel.json", _PARALLEL_BENCH)
     if _BATCH_BENCH:
         _write_bench_json("BENCH_batch.json", _BATCH_BENCH)
+    if _SHARD_BENCH:
+        _write_bench_json("BENCH_shard.json", _SHARD_BENCH)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

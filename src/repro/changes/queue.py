@@ -2,14 +2,21 @@
 
 :class:`PendingQueue` is the logical single queue SubmitQueue presents
 ("the illusion of a single queue", section 3.2): strict arrival order with
-removal on decision.  :class:`ShardedQueue` spreads changes across shards
-by a stable hash, mirroring the Helix-based sharding of the production
-implementation (section 7.1) while preserving per-shard FIFO order.
+removal on decision.
+
+:class:`ShardedQueue` — hash-routed shards — is deprecated: hash routing
+spreads load but says nothing about conflicts, so it was never wired into
+the service.  The live sharded queue is
+:class:`repro.sharding.queue.PartitionedPendingQueue`, which routes by
+the target-graph partition owning each change's paths (section 7.1) so
+the conflict sweep can skip other partitions entirely.  The shim stays
+importable (same hash routing, same API) for callers of the old export.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from typing import Dict, Iterator, List, Optional
 
 from repro.changes.change import Change
@@ -81,17 +88,40 @@ class PendingQueue:
         return list(self)
 
     def earlier_than(self, change_id: ChangeId) -> List[Change]:
-        """Pending changes submitted strictly before ``change_id``."""
+        """Pending changes submitted strictly before ``change_id``.
+
+        Iteration is already in sequence order, so the scan stops at the
+        pivot instead of filtering the whole queue — this sits on the
+        per-change selection hot path.
+        """
         pivot = self.sequence_of(change_id)
-        return [c for c in self if self._sequence[c.change_id] < pivot]
+        earlier: List[Change] = []
+        for change in self:
+            if self._sequence[change.change_id] >= pivot:
+                break
+            earlier.append(change)
+        return earlier
 
 
 class ShardedQueue:
-    """N independent FIFO shards with stable assignment by change id."""
+    """N independent FIFO shards with stable assignment by change id.
+
+    .. deprecated::
+        Hash routing balances load but cannot bound the conflict sweep;
+        use :class:`repro.sharding.queue.PartitionedPendingQueue` (via
+        ``create_queue_backend("sharded:N")``) instead.
+    """
 
     def __init__(self, shards: int = 4) -> None:
         if shards <= 0:
             raise ValueError("shard count must be positive")
+        warnings.warn(
+            "ShardedQueue is deprecated: use "
+            "repro.sharding.PartitionedPendingQueue (the partition-aware "
+            "queue behind create_queue_backend('sharded:N'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._shards: List[PendingQueue] = [PendingQueue() for _ in range(shards)]
 
     @property

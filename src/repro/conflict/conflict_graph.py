@@ -44,16 +44,34 @@ class ConflictGraph:
         except KeyError:
             raise UnknownChangeError(change_id) from None
 
-    def add(self, change: Change) -> Set[ChangeId]:
+    def add(
+        self,
+        change: Change,
+        candidate_ids: Optional[Iterable[ChangeId]] = None,
+    ) -> Set[ChangeId]:
         """Add a pending change; returns the ids it conflicts with.
 
         Pairwise predicate calls happen once per (existing, new) pair; the
         analyzer behind the predicate caches everything heavier.
+
+        ``candidate_ids`` restricts the sweep to those existing members
+        (unknown ids are skipped).  The caller owns the soundness of the
+        restriction — a sharded queue passes the change's own partition
+        plus the straddlers, pairs outside being provably conflict-free —
+        and the resulting edge set must equal the full sweep's.
         """
         if change.change_id in self._changes:
             raise ValueError(f"{change.change_id} already in conflict graph")
+        if candidate_ids is None:
+            pool = self._changes.items()
+        else:
+            pool = [
+                (cid, self._changes[cid])
+                for cid in candidate_ids
+                if cid in self._changes
+            ]
         neighbors: Set[ChangeId] = set()
-        for other_id, other in self._changes.items():
+        for other_id, other in pool:
             if self._predicate(change, other):
                 neighbors.add(other_id)
         self._changes[change.change_id] = change

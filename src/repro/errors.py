@@ -147,6 +147,17 @@ class ParallelExecutionError(ReproError):
     """
 
 
+class ShardingError(ReproError):
+    """A queue-backend spec or partitioner operation was invalid.
+
+    Covers malformed ``create_queue_backend`` specs and partitioner
+    misuse (zero shard counts, routing against a stale graph).  Conflict
+    verdicts themselves never raise through here — sharding is an
+    acceleration layer whose answers are bit-identical to the monolithic
+    analyzer's.
+    """
+
+
 class ObservabilityError(ReproError):
     """Base class for metrics/tracing errors."""
 

@@ -64,6 +64,14 @@ def encode_config(config) -> Dict[str, object]:
     # replay must run with some backend attached.
     if getattr(config, "build_backend", None) is not None:
         payload["overlapped"] = True
+    # Same conditional-key discipline for the queue backend: monolithic
+    # journals stay byte-identical.  Decisions are bit-identical across
+    # queue backends, so the keys are observability (which backend made
+    # this journal) rather than a replay requirement.
+    if getattr(config, "queue_backend", None) is not None:
+        payload["queue_backend"] = config.queue_backend
+        if getattr(config, "queue_shards", None) is not None:
+            payload["queue_shards"] = config.queue_shards
     return payload
 
 
@@ -79,6 +87,10 @@ def decode_config(payload: Mapping[str, object]):
         # Overlapped journals replay through the serial local backend:
         # same record tempo, no worker processes during recovery.
         build_backend="local" if payload.get("overlapped") else None,
+        # Sharded journals replay sharded (verdicts are identical either
+        # way; keeping the backend preserves shard metrics on recovery).
+        queue_backend=payload.get("queue_backend"),
+        queue_shards=payload.get("queue_shards"),
     )
 
 

@@ -207,6 +207,10 @@ def format_report(trace: TraceData, max_epochs: int = 40) -> str:
         ("service_overlap_warm_analyses_total", "analyses warmed in-flight"),
         ("executor_parallel_dispatched_total", "parallel builds dispatched"),
         ("executor_parallel_inflight", "parallel builds in flight"),
+        ("shard_changes_total", "sharded submissions routed"),
+        ("shard_pair_checks_skipped_total", "pair checks skipped (sharding)"),
+        ("shard_imbalance", "shard imbalance (pending)"),
+        ("shard_straddler_depth", "straddlers pending"),
     ):
         value = _metric_value(trace.metrics, name)
         if value is not None:

@@ -84,6 +84,7 @@ def run_cell(
     step_wall_seconds: float = 0.0,
     recorder: Recorder = NULL_RECORDER,
     batching: bool = False,
+    queue_backend: Optional[str] = None,
 ) -> CellResult:
     """Submit every change, pump to a decision, time the whole cell.
 
@@ -94,6 +95,11 @@ def run_cell(
     ``batching`` swaps the plain SubmitQueue strategy for the risk-aware
     batching strategy (same predictor), so mirrored runs compare landing
     rates with everything else held fixed.
+
+    ``queue_backend`` selects the pending-queue/analyzer pair (the
+    ``repro.sharding.create_queue_backend`` seam, e.g. ``"sharded:4"``);
+    ``None`` keeps the monolithic pair.  Fingerprints must match across
+    queue backends exactly as they do across build backends.
     """
     from repro.predictor.predictors import StaticPredictor
     from repro.service.core import CoreService, CoreServiceConfig
@@ -115,6 +121,7 @@ def run_cell(
             build_backend=backend,
             parallel_workers=parallel_workers,
             step_wall_seconds=step_wall_seconds,
+            queue_backend=queue_backend,
         ),
         recorder=recorder,
     )
@@ -137,6 +144,8 @@ def run_cell(
         if workers is None and service.backend is not None:
             workers = service.backend.worker_count
         label = f"process:{workers}"
+    if queue_backend is not None:
+        label = f"{label}+{queue_backend}"
     service.close()
     return CellResult(
         backend=label,

@@ -264,6 +264,7 @@ class PlannerEngine:
         conflict_predicate: Callable[[Change, Change], bool],
         preemption_grace: float = 0.0,
         recorder: Recorder = NULL_RECORDER,
+        queue: Optional[PendingQueue] = None,
     ) -> None:
         """``preemption_grace``: a running build within this many minutes
         of completion is never aborted even when deselected — the paper's
@@ -274,7 +275,13 @@ class PlannerEngine:
         ``recorder``: an optional :class:`~repro.obs.recorder.Recorder`;
         the default no-op recorder keeps every instrumentation site to a
         falsy branch.  Strategies exposing ``bind_recorder`` (e.g. the
-        speculation-driven SubmitQueue strategy) receive the same one."""
+        speculation-driven SubmitQueue strategy) receive the same one.
+
+        ``queue``: the pending queue to plan over (default: a fresh
+        monolithic :class:`PendingQueue`).  A queue exposing
+        ``conflict_candidates(change)`` — the partition-aware queue —
+        additionally narrows each submission's conflict sweep to the ids
+        it returns."""
         if preemption_grace < 0:
             raise ValueError("preemption_grace must be non-negative")
         self.preemption_grace = preemption_grace
@@ -286,7 +293,7 @@ class PlannerEngine:
         if bind is not None:
             bind(recorder)
         self._epoch_span = None
-        self.queue = PendingQueue()
+        self.queue = queue if queue is not None else PendingQueue()
         self.ledger = ChangeLedger()
         self.conflict_graph = ConflictGraph(conflict_predicate)
         #: Frozen at submit time: conflicting changes pending at arrival.
@@ -320,7 +327,11 @@ class PlannerEngine:
         self.records[change.change_id] = record
         self.all_changes[change.change_id] = change
         self.queue.enqueue(change)
-        conflicting = self.conflict_graph.add(change)
+        # A partition-aware queue narrows the sweep to the change's own
+        # shard plus straddlers; the monolithic queue tests everything.
+        provider = getattr(self.queue, "conflict_candidates", None)
+        candidates = provider(change) if provider is not None else None
+        conflicting = self.conflict_graph.add(change, candidates)
         # Ancestors are the conflicting changes that were already pending;
         # submission order makes them exactly the graph's older neighbors.
         self.ancestors[change.change_id] = self.conflict_graph.ancestors(

@@ -67,6 +67,17 @@ class CoreServiceConfig:
     build_backend: Optional[str] = None
     #: Worker-process count for process backends (``None``: backend default).
     parallel_workers: Optional[int] = None
+    #: Queue-backend spec for ``repro.sharding.create_queue_backend``
+    #: ("auto", "local", "sharded", "sharded:N", "redis-stub[:N]").
+    #: ``None`` — the default — keeps the monolithic queue + analyzer and
+    #: never imports ``repro.sharding``.  Decisions, commit order, and
+    #: state fingerprints are bit-identical across queue backends (the
+    #: sharded sweep only skips provably-disjoint pairs), so the spec is
+    #: journaled for observability, and recovery may replay a sharded run
+    #: through any backend.
+    queue_backend: Optional[str] = None
+    #: Partition count for sharded queue backends (``None``: spec/default).
+    queue_shards: Optional[int] = None
     #: While the backend waits on in-flight builds, warm conflict-analyzer
     #: state for queued submissions (outcome-neutral overlap).
     overlap_analysis: bool = True
@@ -129,15 +140,33 @@ class CoreService:
                 incremental=config.incremental_executor,
             )
         )
-        self._analyzer = ConflictAnalyzer(
-            repo.snapshot().to_dict(), recorder=recorder
-        )
+        self._queue_backend = None
+        queue = None
+        if config.queue_backend is not None:
+            # Lazy import — the single place the service touches
+            # repro.sharding, so the default path never loads it.
+            from repro.sharding import create_queue_backend
+
+            self._queue_backend = create_queue_backend(
+                config.queue_backend, shards=config.queue_shards
+            )
+            self._analyzer = self._queue_backend.create_analyzer(
+                repo.snapshot().to_dict(), recorder=recorder
+            )
+            queue = self._queue_backend.create_queue(
+                self._analyzer, recorder=recorder
+            )
+        else:
+            self._analyzer = ConflictAnalyzer(
+                repo.snapshot().to_dict(), recorder=recorder
+            )
         self.planner = PlannerEngine(
             strategy=strategy,
             controller=self.controller,
             workers=WorkerPool(config.workers),
             conflict_predicate=self._conflict_predicate,
             recorder=recorder,
+            queue=queue,
         )
         self.clock = Clock()
         recorder.bind_clock(lambda: self.clock.now)
@@ -224,6 +253,11 @@ class CoreService:
     def analyzer(self) -> ConflictAnalyzer:
         return self._analyzer
 
+    @property
+    def queue_backend(self):
+        """The attached queue backend, or ``None`` on the monolithic path."""
+        return self._queue_backend
+
     # -- journaling ---------------------------------------------------------
 
     @property
@@ -307,7 +341,14 @@ class CoreService:
                 continue
             self._warmed_analyses.add(change.change_id)
             self._maybe_refresh_analyzer()
-            self._analyzer.analyze(change)
+            # Under a sharded backend, warm through the change's own
+            # per-shard view — the views share the parent's caches, so
+            # this is the same computation scoped to the owning shard.
+            view_for = getattr(self._analyzer, "shard_view_for", None)
+            if view_for is not None:
+                view_for(change).analyze(change)
+            else:
+                self._analyzer.analyze(change)
             if self.recorder.enabled:
                 self.recorder.counter(
                     "service_overlap_warm_analyses_total",
@@ -334,6 +375,8 @@ class CoreService:
                 detach()
             self._backend.close()
             self._backend = None
+        if self._queue_backend is not None:
+            self._queue_backend.close()
 
     def pump(self) -> List[Decision]:
         """Advance time until every submitted change is decided."""

@@ -1,0 +1,120 @@
+"""Target-graph-partitioned sharding (paper section 7.1, ROADMAP item 2).
+
+The production SubmitQueue shards planning by Helix partition while
+presenting "the illusion of a single queue" (section 3.2).  This package
+is the reproduction's equivalent: the build-target graph is split into
+connected components packed into a bounded number of partitions
+(:mod:`repro.sharding.partition`), pending changes are routed to the
+partition owning their touched paths (:mod:`repro.sharding.queue`), and
+the conflict analyzer only sweeps a change's own partition plus the
+cross-partition "straddlers" (:mod:`repro.sharding.analyzer`) — with
+verdicts, commit order, and state fingerprints bit-identical to the
+monolithic path.
+
+Backend selection lives in exactly one place — :func:`create_queue_backend`
+— the AutoQueueBackend pattern, mirroring
+:func:`repro.parallel.create_build_backend`.  Specs:
+
+``"local"``
+    Monolithic ``PendingQueue`` + ``ConflictAnalyzer`` — the oracle.
+``"sharded"`` / ``"sharded:N"``
+    Partition-aware queue + sharded analyzer over ``N`` partitions
+    (default 4).
+``"redis-stub"`` / ``"redis-stub:N"``
+    Sharded, with queue membership mirrored into an in-process
+    Redis-shaped store (the distributed future's wire shape).
+``"auto"``
+    ``sharded:4`` on multi-core machines, else ``local``.
+
+This package is imported lazily: the default service path never touches
+it (enforced by a dep-hygiene test), so selecting no backend costs
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ShardingError
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.sharding.analyzer import ShardAnalyzer, ShardedConflictAnalyzer
+from repro.sharding.backend import (
+    FakeRedis,
+    LocalQueueBackend,
+    QueueBackend,
+    RedisBackedPendingQueue,
+    RedisStubQueueBackend,
+    ShardedQueueBackend,
+)
+from repro.sharding.partition import PartitionerStats, TargetPartitioner
+from repro.sharding.queue import (
+    STRADDLER_SHARD,
+    PartitionedPendingQueue,
+    shard_label,
+)
+
+__all__ = [
+    "FakeRedis",
+    "LocalQueueBackend",
+    "PartitionedPendingQueue",
+    "PartitionerStats",
+    "QueueBackend",
+    "RedisBackedPendingQueue",
+    "RedisStubQueueBackend",
+    "STRADDLER_SHARD",
+    "ShardAnalyzer",
+    "ShardedConflictAnalyzer",
+    "ShardedQueueBackend",
+    "ShardingError",
+    "TargetPartitioner",
+    "create_queue_backend",
+    "shard_label",
+]
+
+#: Shard count ``auto`` picks on multi-core machines.
+AUTO_SHARDS = 4
+
+
+def create_queue_backend(
+    spec: str = "auto",
+    *,
+    shards: Optional[int] = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> QueueBackend:
+    """The canonical queue-backend factory — the only component that
+    knows the concrete backend classes.
+
+    ``shards`` overrides the partition count for sharded backends (a
+    ``sharded:N`` suffix in the spec wins over the keyword).  The
+    ``recorder`` keyword is accepted for seam symmetry with
+    :func:`repro.parallel.create_build_backend`; backends themselves are
+    recorder-free (the analyzer and queue each take one at creation).
+    """
+    name, _, suffix = (spec or "auto").partition(":")
+    name = name.strip().lower()
+    if suffix:
+        try:
+            shards = int(suffix)
+        except ValueError:
+            raise ShardingError(
+                f"malformed queue backend spec {spec!r}: "
+                "shard count must be an integer"
+            )
+    if name == "auto":
+        cores = os.cpu_count() or 1
+        name = "sharded" if cores > 1 else "local"
+        if shards is None:
+            shards = AUTO_SHARDS
+    if name == "local":
+        return LocalQueueBackend()
+    if name == "sharded":
+        return ShardedQueueBackend(shards if shards is not None else AUTO_SHARDS)
+    if name == "redis-stub":
+        return RedisStubQueueBackend(
+            shards if shards is not None else AUTO_SHARDS
+        )
+    raise ShardingError(
+        f"unknown queue backend {spec!r} "
+        "(expected auto, local, sharded[:N], or redis-stub[:N])"
+    )

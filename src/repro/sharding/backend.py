@@ -1,0 +1,250 @@
+"""Queue backends: the pluggable analyzer+queue pair behind one seam.
+
+Mirrors the build-backend seam (``repro.parallel.create_build_backend``):
+the service asks :func:`repro.sharding.create_queue_backend` for a
+backend, and the backend manufactures the conflict analyzer and pending
+queue as a matched pair — monolithic (:class:`LocalQueueBackend`),
+partition-sharded (:class:`ShardedQueueBackend`), or sharded with its
+membership mirrored into a Redis-shaped store
+(:class:`RedisStubQueueBackend`).
+
+The Redis stub exists for the distributed future: :class:`FakeRedis`
+implements the handful of hash/list commands a real deployment would
+use, and :class:`RedisBackedPendingQueue` writes every membership change
+through to it.  Authoritative state stays in-process — the stub
+demonstrates the wire shape without changing a single decision, so the
+bit-identity property holds for it too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.changes.change import Change
+from repro.changes.queue import PendingQueue
+from repro.conflict.analyzer import ConflictAnalyzer
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.sharding.analyzer import ShardedConflictAnalyzer
+from repro.sharding.queue import PartitionedPendingQueue, shard_label
+from repro.types import ChangeId, Path
+
+
+class QueueBackend:
+    """Manufactures the analyzer/queue pair for one ``CoreService``."""
+
+    name = "abstract"
+
+    def create_analyzer(
+        self,
+        base_snapshot: Mapping[Path, str],
+        recorder: Recorder = NULL_RECORDER,
+    ) -> ConflictAnalyzer:
+        raise NotImplementedError
+
+    def create_queue(
+        self,
+        analyzer: ConflictAnalyzer,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> PendingQueue:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        return {"backend": self.name}
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-process backends)."""
+
+
+class LocalQueueBackend(QueueBackend):
+    """The monolithic pair — exactly what the service builds by default.
+
+    Exists so ``create_queue_backend("local")`` is a valid spec and the
+    property tests can drive both sides through the same seam.
+    """
+
+    name = "local"
+
+    def create_analyzer(
+        self,
+        base_snapshot: Mapping[Path, str],
+        recorder: Recorder = NULL_RECORDER,
+    ) -> ConflictAnalyzer:
+        return ConflictAnalyzer(base_snapshot, recorder=recorder)
+
+    def create_queue(
+        self,
+        analyzer: ConflictAnalyzer,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> PendingQueue:
+        return PendingQueue()
+
+
+class ShardedQueueBackend(QueueBackend):
+    """Partition-sharded analyzer + partition-aware queue."""
+
+    name = "sharded"
+
+    def __init__(self, shards: int = 4) -> None:
+        from repro.errors import ShardingError
+
+        if shards < 1:
+            raise ShardingError("sharded backend needs at least one shard")
+        self.shards = shards
+
+    def create_analyzer(
+        self,
+        base_snapshot: Mapping[Path, str],
+        recorder: Recorder = NULL_RECORDER,
+    ) -> ShardedConflictAnalyzer:
+        return ShardedConflictAnalyzer(
+            base_snapshot, recorder=recorder, shards=self.shards
+        )
+
+    def create_queue(
+        self,
+        analyzer: ConflictAnalyzer,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> PartitionedPendingQueue:
+        assert isinstance(analyzer, ShardedConflictAnalyzer)
+        return PartitionedPendingQueue(
+            analyzer, shard_count=analyzer.shard_count, recorder=recorder
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {"backend": self.name, "shards": self.shards}
+
+
+class FakeRedis:
+    """The subset of Redis a sharded queue deployment would touch.
+
+    Hashes (``hset``/``hget``/``hdel``/``hlen``) for the change→shard
+    route map and lists (``rpush``/``lrem``/``lrange``/``llen``) for the
+    per-shard member order.  In-process and synchronous; the point is the
+    command surface, not the transport.
+    """
+
+    def __init__(self) -> None:
+        self._hashes: Dict[str, Dict[str, str]] = {}
+        self._lists: Dict[str, List[str]] = {}
+        self.commands = 0
+
+    # -- hash commands ---------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: str) -> int:
+        self.commands += 1
+        bucket = self._hashes.setdefault(key, {})
+        created = field not in bucket
+        bucket[field] = value
+        return int(created)
+
+    def hget(self, key: str, field: str) -> Optional[str]:
+        self.commands += 1
+        return self._hashes.get(key, {}).get(field)
+
+    def hdel(self, key: str, field: str) -> int:
+        self.commands += 1
+        bucket = self._hashes.get(key, {})
+        return int(bucket.pop(field, None) is not None)
+
+    def hlen(self, key: str) -> int:
+        self.commands += 1
+        return len(self._hashes.get(key, {}))
+
+    # -- list commands ---------------------------------------------------------
+
+    def rpush(self, key: str, value: str) -> int:
+        self.commands += 1
+        entries = self._lists.setdefault(key, [])
+        entries.append(value)
+        return len(entries)
+
+    def lrem(self, key: str, count: int, value: str) -> int:
+        self.commands += 1
+        entries = self._lists.get(key, [])
+        removed = entries.count(value) if count == 0 else min(count, entries.count(value))
+        kept: List[str] = []
+        dropped = 0
+        for entry in entries:
+            if entry == value and (count == 0 or dropped < count):
+                dropped += 1
+                continue
+            kept.append(entry)
+        self._lists[key] = kept
+        return dropped
+
+    def lrange(self, key: str, start: int, stop: int) -> List[str]:
+        self.commands += 1
+        entries = self._lists.get(key, [])
+        if stop == -1:
+            return list(entries[start:])
+        return list(entries[start : stop + 1])
+
+    def llen(self, key: str) -> int:
+        self.commands += 1
+        return len(self._lists.get(key, []))
+
+
+class RedisBackedPendingQueue(PartitionedPendingQueue):
+    """A partitioned queue mirroring membership into a Redis-shaped store.
+
+    Every enqueue/remove writes through: the route map lands in the
+    ``sq:routes`` hash, the per-shard submit order in ``sq:shard:<label>``
+    lists.  Reads still come from the in-process index, so behavior is
+    identical to :class:`PartitionedPendingQueue` — the mirror is the
+    wire-shape demonstration a real distributed deployment would read
+    from.
+    """
+
+    def __init__(
+        self,
+        router,
+        shard_count: int,
+        store: FakeRedis,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        super().__init__(router, shard_count, recorder=recorder)
+        self.store = store
+
+    def enqueue(self, change: Change) -> int:
+        seq = super().enqueue(change)
+        label = shard_label(self._shard_of[change.change_id])
+        self.store.hset("sq:routes", str(change.change_id), label)
+        self.store.rpush(f"sq:shard:{label}", str(change.change_id))
+        return seq
+
+    def remove(self, change_id: ChangeId) -> Change:
+        label = self.store.hget("sq:routes", str(change_id))
+        change = super().remove(change_id)
+        if label is not None:
+            self.store.hdel("sq:routes", str(change_id))
+            self.store.lrem(f"sq:shard:{label}", 1, str(change_id))
+        return change
+
+
+class RedisStubQueueBackend(ShardedQueueBackend):
+    """Sharded backend whose queue mirrors into a :class:`FakeRedis`."""
+
+    name = "redis-stub"
+
+    def __init__(self, shards: int = 4) -> None:
+        super().__init__(shards)
+        self.store = FakeRedis()
+
+    def create_queue(
+        self,
+        analyzer: ConflictAnalyzer,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> RedisBackedPendingQueue:
+        assert isinstance(analyzer, ShardedConflictAnalyzer)
+        return RedisBackedPendingQueue(
+            analyzer,
+            shard_count=analyzer.shard_count,
+            store=self.store,
+            recorder=recorder,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["backend"] = self.name
+        payload["commands"] = self.store.commands
+        return payload

@@ -1,0 +1,71 @@
+"""The multi-partition workload: several islands, one merged snapshot.
+
+The figure-12 monorepo is a single connected component, which a graph
+partitioner cannot split.  Sharding benchmarks need a repo whose target
+graph genuinely decomposes, so :func:`mint_partitioned_cell` materializes
+``islands`` copies of a layered spec under disjoint package prefixes
+(``island0/…``, ``island1/…``), merges their snapshots into one
+repository, and mints clean changes round-robin across the islands —
+every island is its own connected component, so a ``sharded:N`` backend
+routes the changes ``N`` ways while the monolithic oracle sees the very
+same inputs.
+
+The shape mirrors :func:`repro.parallel.workload.mint_cell`: mint once,
+run identical deep copies under each backend, compare fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.changes.change import Change
+from repro.workload.repo_synth import MonorepoSpec, SyntheticMonorepo
+
+
+def mint_partitioned_cell(
+    islands: int = 4,
+    seed: int = 23,
+    count: int = 64,
+    layers: Tuple[int, ...] = (3, 4, 3),
+    fan_in: int = 2,
+    files_per_target: int = 2,
+) -> Tuple[Dict[str, str], List[Change]]:
+    """``islands`` disjoint components + ``count`` clean changes.
+
+    Returns ``(files, changes)`` exactly like ``mint_cell``; changes are
+    round-robin across islands (change ``i`` edits island ``i % islands``)
+    and each stays inside its island, so none is a straddler.  Within an
+    island, consecutive changes walk distinct (target, source) slots, so
+    as long as ``count <= islands * targets * files_per_target`` no two
+    patches touch the same file and every change lands cleanly.
+    """
+    if islands < 1:
+        raise ValueError("islands must be >= 1")
+    synths = [
+        SyntheticMonorepo(
+            MonorepoSpec(
+                layers=layers,
+                fan_in=fan_in,
+                files_per_target=files_per_target,
+                package_prefix=f"island{k}/",
+            ),
+            seed=seed + k,
+        )
+        for k in range(islands)
+    ]
+    files: Dict[str, str] = {}
+    for synth in synths:
+        files.update(synth.repo.snapshot().to_dict())
+    changes: List[Change] = []
+    for index in range(count):
+        synth = synths[index % islands]
+        targets = synth.target_names()
+        slot = index // islands
+        changes.append(
+            synth.make_clean_change(
+                target_name=targets[slot % len(targets)],
+                submitted_at=0.0,
+                source_index=slot // len(targets),
+            )
+        )
+    return files, changes

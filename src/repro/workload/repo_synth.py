@@ -46,6 +46,10 @@ class MonorepoSpec:
     fan_in: int = 2
     files_per_target: int = 2
     with_ui_tests: bool = False
+    #: Path prefix for every package (e.g. ``"island0/"``), letting
+    #: several specs materialize into one merged snapshot as disjoint
+    #: connected components — the multi-partition sharding workload.
+    package_prefix: str = ""
 
     def __post_init__(self) -> None:
         if not self.layers or any(n <= 0 for n in self.layers):
@@ -78,7 +82,7 @@ class SyntheticMonorepo:
         for layer_index, width in enumerate(spec.layers):
             names: List[TargetName] = []
             for slot in range(width):
-                package = f"layer{layer_index}/t{slot:03d}"
+                package = f"{spec.package_prefix}layer{layer_index}/t{slot:03d}"
                 target_name = f"//{package}:lib"
                 srcs = []
                 for file_index in range(spec.files_per_target):
@@ -136,11 +140,19 @@ class SyntheticMonorepo:
         return Patch.modifying({path: base + suffix}, base={path: base})
 
     def make_clean_change(
-        self, target_name: Optional[TargetName] = None, submitted_at: float = 0.0
+        self,
+        target_name: Optional[TargetName] = None,
+        submitted_at: float = 0.0,
+        source_index: int = 0,
     ) -> Change:
-        """A change that passes all build steps."""
+        """A change that passes all build steps.
+
+        ``source_index`` picks which of the target's sources to edit, so
+        callers minting many changes against one target can keep their
+        patches textually disjoint.
+        """
         name = target_name or self._random_target()
-        path = self.source_of(name)
+        path = self.source_of(name, index=source_index)
         marker = int(self._rng.integers(1 << 30))
         patch = self._edit_patch(path, f"# tweak {marker}\n")
         return self._wrap(patch, submitted_at, f"clean edit of {name}")
@@ -189,7 +201,7 @@ class SyntheticMonorepo:
     def make_structural_change(self, submitted_at: float = 0.0) -> Change:
         """A change that alters build-graph structure (adds a target)."""
         index = int(self._rng.integers(1 << 30))
-        package = f"generated/g{index:08x}"
+        package = f"{self.spec.package_prefix}generated/g{index:08x}"
         deps = [self._layer_targets[0][0]]
         files = {
             f"{package}/src_0.py": f"# generated module {index}\nVALUE = {index}\n",
